@@ -1,0 +1,67 @@
+"""E4 — Lemmas 5.1/5.2: k-nearest in O(i) rounds; bin-combination counting.
+
+Two tables: (a) ledger rounds scale exactly linearly in the iteration
+count i (the O(i) claim), with per-iteration cost constant; (b) the
+Section 5.2 combinatorics — h * C(p, h) <= n for the paper's parameter
+choices, so every h-combination can be assigned to a distinct node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.cclique import RoundLedger
+from repro.core import knearest_iterated, make_bin_plan
+from repro.semiring import k_smallest_in_rows, minplus_power
+
+from conftest import rng_for, workload
+
+
+def test_rounds_linear_in_iterations(results_sink, benchmark):
+    graph = workload("er", 96)
+    matrix = graph.matrix()
+    k, h = 9, 2
+    rows = []
+    per_iteration = None
+    for i in (1, 2, 4, 8):
+        ledger = RoundLedger(graph.n)
+        result = knearest_iterated(matrix, k, h, i, ledger=ledger)
+        truth = minplus_power(matrix, h**i)
+        t_idx, _ = k_smallest_in_rows(truth, k)
+        assert np.array_equal(result.indices, t_idx), f"i={i} output mismatch"
+        if per_iteration is None:
+            per_iteration = ledger.total_rounds
+        assert ledger.total_rounds == per_iteration * i  # exactly O(i)
+        rows.append((i, h**i, ledger.total_rounds))
+    table = format_table(
+        ["iterations i", "hop reach h^i", "ledger rounds"],
+        rows,
+        title="E4 / Lemma 5.2 — k-nearest rounds scale exactly as O(i) (n=96, k=9, h=2)",
+    )
+    emit(table, sink_path=results_sink)
+
+    benchmark.pedantic(
+        lambda: knearest_iterated(matrix, k, h, 3), rounds=1, iterations=1
+    )
+
+
+def test_bin_combination_counting(results_sink, benchmark):
+    rows = []
+    for n in (64, 256, 1024, 4096, 16384):
+        for h in (2, 3, 4):
+            k = max(1, int(n ** (1.0 / h)))
+            plan = make_bin_plan(n, k, h)
+            if not plan.feasible:
+                rows.append((n, h, k, plan.p, "trivial", "-"))
+                continue
+            assert plan.combination_count <= n
+            rows.append((n, h, k, plan.p, plan.combination_count, "<= n OK"))
+    table = format_table(
+        ["n", "h", "k=n^(1/h)", "bins p", "h-combinations", "claim"],
+        rows,
+        title="E4b / Section 5.2 — h * C(p, h) <= n (assignable to distinct nodes)",
+    )
+    emit(table, sink_path=results_sink)
+    benchmark.pedantic(lambda: make_bin_plan(4096, 16, 3), rounds=1, iterations=1)

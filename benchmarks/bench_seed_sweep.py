@@ -1,0 +1,70 @@
+"""E15 — w.h.p. claims under seed sweeps.
+
+The paper's algorithms are Monte Carlo: round bounds always hold, outputs
+are correct w.h.p.  This experiment runs Theorem 7.1 and the bootstrap
+over 10 seeds per workload and reports the stretch *distribution* — the
+guarantee must hold for every seed (asserted), and the variance shows how
+far typical behaviour sits from the worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import emit
+from repro.analysis.experiments import run_sweep
+from repro.core import apsp_small_diameter
+from repro.graphs import erdos_renyi, grid_graph, heavy_tail_weights
+from repro.spanners import logn_bootstrap
+
+from conftest import rng_for
+
+SEEDS = list(range(10))
+
+WORKLOADS = {
+    "er-64": lambda rng: erdos_renyi(64, 0.1, rng),
+    "grid-64": lambda rng: grid_graph(8, rng),
+    "heavy-64": lambda rng: erdos_renyi(64, 0.12, rng, weights=heavy_tail_weights()),
+}
+
+
+def test_theorem71_seed_sweep(results_sink, benchmark):
+    def algorithm(graph, rng, ledger):
+        return apsp_small_diameter(graph, rng, ledger=ledger)
+
+    result = run_sweep(algorithm, WORKLOADS, SEEDS)
+    emit(
+        result.table("E15 / Theorem 7.1 over 10 seeds — stretch distribution"),
+        sink_path=results_sink,
+    )
+    assert all(s.all_sound for s in result.summaries)
+    assert all(s.max_stretch_worst <= 21.0 + 1e-9 for s in result.summaries)
+
+    graph = WORKLOADS["er-64"](rng_for("e15:kernel"))
+    benchmark.pedantic(
+        lambda: apsp_small_diameter(graph, rng_for("e15:k2")),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bootstrap_seed_sweep(results_sink, benchmark):
+    from repro.core.results import Estimate
+
+    def algorithm(graph, rng, ledger):
+        boot = logn_bootstrap(graph, rng, ledger=ledger)
+        return Estimate(estimate=boot.estimate, factor=boot.factor)
+
+    result = run_sweep(algorithm, WORKLOADS, SEEDS)
+    emit(
+        result.table("E15b / Corollary 7.2 bootstrap over 10 seeds"),
+        sink_path=results_sink,
+    )
+    assert all(s.all_sound for s in result.summaries)
+
+    graph = WORKLOADS["grid-64"](rng_for("e15b:kernel"))
+    benchmark.pedantic(
+        lambda: logn_bootstrap(graph, rng_for("e15b:k2")),
+        rounds=1,
+        iterations=1,
+    )

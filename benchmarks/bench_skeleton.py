@@ -1,0 +1,75 @@
+"""E5 — Lemmas 3.4/6.1: skeleton graph size and transfer stretch.
+
+For a sweep of k: the skeleton size against the O(n log k / k) bound, and
+the end-to-end transfer stretch (exact inner solve, l = 1) against the
+7 l a^2 guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.core import build_skeleton, extend_estimate
+from repro.core.params import skeleton_size_bound
+from repro.graphs import check_estimate, exact_apsp
+from repro.semiring import k_smallest_in_rows
+
+from conftest import exact_for, rng_for, workload
+
+N = 128
+
+
+def run_case(k: int):
+    graph = workload("er", N)
+    exact = exact_for("er", N)
+    idx, val = k_smallest_in_rows(exact, k)
+    skeleton = build_skeleton(graph, idx, val, k, rng_for(f"e5:{k}"), a=1.0)
+    inner = exact_apsp(skeleton.graph)
+    eta, factor = extend_estimate(skeleton, inner, 1.0)
+    report = check_estimate(exact, eta)
+    assert report.sound
+    assert report.max_stretch <= factor + 1e-9
+    return skeleton, report, factor
+
+
+def test_skeleton_table(results_sink, benchmark):
+    rows = []
+    for k in (4, 8, 16, 32):
+        skeleton, report, factor = run_case(k)
+        bound = skeleton_size_bound(N, k)
+        assert skeleton.num_nodes <= bound + k
+        rows.append(
+            (
+                k,
+                skeleton.num_nodes,
+                round(bound, 1),
+                skeleton.graph.num_edges,
+                round(factor, 1),
+                round(report.max_stretch, 3),
+                round(report.mean_stretch, 3),
+            )
+        )
+    table = format_table(
+        ["k", "|V_S|", "O(n log k/k) bound", "|E_S|", "7la^2 bound", "max stretch", "mean"],
+        rows,
+        title=f"E5 / Lemma 3.4 — skeleton size and transfer stretch (n={N}, l=1, a=1)",
+    )
+    emit(table, sink_path=results_sink)
+
+    graph = workload("er", N)
+    exact = exact_for("er", N)
+    idx, val = k_smallest_in_rows(exact, 11)
+    benchmark.pedantic(
+        lambda: build_skeleton(graph, idx, val, 11, rng_for("e5:kernel"), a=1.0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_size_shrinks_with_k(results_sink, benchmark):
+    """The reduction gets stronger as k grows — the shape Lemma 3.4 needs."""
+    sizes = [run_case(k)[0].num_nodes for k in (4, 16, 32)]
+    assert sizes[0] > sizes[-1]
+    benchmark.pedantic(lambda: sizes, rounds=1, iterations=1)

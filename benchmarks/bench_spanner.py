@@ -1,0 +1,68 @@
+"""E6 — Lemma 7.1: spanner stretch/size tradeoff.
+
+For a sweep of k: measured stretch against 2k-1 and edge count against
+O(k n^{1+1/k}) on a dense graph — the tradeoff the O(1)-round
+O(log n)-approximation (Corollary 7.2) is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.graphs import exact_apsp
+from repro.spanners import baswana_sengupta_spanner, spanner_edge_bound
+
+from conftest import exact_for, rng_for, workload
+
+N = 96
+
+
+def measured_stretch(graph, spanner) -> float:
+    base = exact_apsp(graph)
+    sp = exact_apsp(spanner)
+    mask = np.isfinite(base) & (base > 0)
+    return float(np.max(sp[mask] / base[mask]))
+
+
+def test_spanner_tradeoff_table(results_sink, benchmark):
+    graph = workload("er-dense", N)
+    rows = []
+    for k in (2, 3, 4, 6):
+        spanner = baswana_sengupta_spanner(graph, k, rng_for(f"e6:{k}"))
+        stretch = measured_stretch(graph, spanner)
+        bound = spanner_edge_bound(N, k)
+        assert stretch <= 2 * k - 1 + 1e-9
+        rows.append(
+            (
+                k,
+                2 * k - 1,
+                round(stretch, 3),
+                spanner.num_edges,
+                int(bound),
+                graph.num_edges,
+            )
+        )
+    table = format_table(
+        ["k", "stretch bound 2k-1", "measured", "spanner edges", "k n^(1+1/k) bound", "|E(G)|"],
+        rows,
+        title=f"E6 / Lemma 7.1 — spanner stretch vs size (dense ER, n={N})",
+    )
+    emit(table, sink_path=results_sink)
+
+    benchmark.pedantic(
+        lambda: baswana_sengupta_spanner(graph, 3, rng_for("e6:kernel")),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_edges_shrink_with_k(results_sink, benchmark):
+    graph = workload("er-dense", N)
+    sizes = [
+        baswana_sengupta_spanner(graph, k, rng_for(f"e6s:{k}")).num_edges
+        for k in (2, 6)
+    ]
+    assert sizes[1] <= sizes[0]
+    benchmark.pedantic(lambda: sizes, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""E1 — Theorem 1.1: the headline (7^4+eps)-approximation.
+
+Regenerates the claim table: for each workload and size, the guaranteed
+factor (<= 7^4 (1+eps)^2), the measured stretch (far below the bound, as
+the paper's constants are loose by design), and the ledger round count
+(near-flat in n, the O(log log log n) shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.cclique import RoundLedger
+from repro.core import apsp_theorem11
+from repro.graphs import check_estimate
+
+from conftest import exact_for, rng_for, workload
+
+BOUND = 7**4 * 1.1**2
+SIZES = [48, 96, 144, 256]
+FAMILIES = ["er", "grid", "heavy"]
+
+
+def run_case(family: str, n: int):
+    graph = workload(family, n)
+    exact = exact_for(family, n)
+    ledger = RoundLedger(graph.n)
+    result = apsp_theorem11(graph, rng_for(f"e1:{family}:{n}"), ledger=ledger)
+    report = check_estimate(exact, result.estimate)
+    assert report.sound, f"{family}/{n}: underestimate"
+    assert report.max_stretch <= result.factor + 1e-9
+    return {
+        "n": graph.n,
+        "family": family,
+        "rounds": ledger.total_rounds,
+        "factor_bound": result.factor,
+        "max_stretch": report.max_stretch,
+        "mean_stretch": report.mean_stretch,
+    }
+
+
+def test_theorem11_claim_table(results_sink, benchmark):
+    rows = []
+    for family in FAMILIES:
+        for n in SIZES:
+            case = run_case(family, n)
+            rows.append(
+                (
+                    case["family"],
+                    case["n"],
+                    case["rounds"],
+                    round(case["factor_bound"], 1),
+                    round(case["max_stretch"], 3),
+                    round(case["mean_stretch"], 3),
+                )
+            )
+    table = format_table(
+        ["family", "n", "ledger rounds", "factor bound", "max stretch", "mean stretch"],
+        rows,
+        title=(
+            "E1 / Theorem 1.1 — (7^4+eps)-approx APSP, O(log log log n) rounds "
+            f"(bound {BOUND:.0f})"
+        ),
+    )
+    emit(table, sink_path=results_sink)
+
+    graph = workload("er", 96)
+    rng = rng_for("e1:kernel")
+    benchmark.pedantic(
+        lambda: apsp_theorem11(graph, rng), rounds=1, iterations=1
+    )
+
+
+def test_rounds_nearly_flat_in_n(results_sink, benchmark):
+    """The round-complexity shape: ledger rounds grow sub-linearly in n."""
+    rounds = []
+    for n in SIZES:
+        graph = workload("er", n)
+        ledger = RoundLedger(graph.n)
+        apsp_theorem11(graph, rng_for(f"e1flat:{n}"), ledger=ledger)
+        rounds.append((n, ledger.total_rounds))
+    growth = rounds[-1][1] / max(1, rounds[0][1])
+    size_growth = rounds[-1][0] / rounds[0][0]
+    assert growth < size_growth, (
+        f"rounds grew {growth:.2f}x while n grew {size_growth:.2f}x"
+    )
+    table = format_table(
+        ["n", "ledger rounds"],
+        rounds,
+        title="E1b — round growth vs n (sub-linear, per O(log log log n))",
+    )
+    emit(table, sink_path=results_sink)
+    benchmark.pedantic(lambda: rounds, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""E2 — Theorem 1.2: the round/approximation tradeoff.
+
+For t = 1..4, the paper promises an O(log^{2^-t} n)-approximation in O(t)
+rounds.  The table reports the formula bound, the pipeline's chained
+guarantee, the measured stretch, and the ledger rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.cclique import RoundLedger
+from repro.core import apsp_tradeoff, tradeoff_factor_bound
+from repro.graphs import check_estimate
+
+from conftest import exact_for, rng_for, workload
+
+N = 96
+TS = [1, 2, 3, 4]
+
+
+def test_tradeoff_table(results_sink, benchmark):
+    graph = workload("er", N)
+    exact = exact_for("er", N)
+    rows = []
+    for t in TS:
+        ledger = RoundLedger(graph.n)
+        result = apsp_tradeoff(graph, t, rng_for(f"e2:{t}"), ledger=ledger)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= result.factor + 1e-9
+        rows.append(
+            (
+                t,
+                round(tradeoff_factor_bound(graph.n, t), 1),
+                round(result.factor, 1),
+                round(report.max_stretch, 3),
+                ledger.total_rounds,
+            )
+        )
+    table = format_table(
+        ["t", "O(log^(2^-t) n) bound", "chained factor", "max stretch", "rounds"],
+        rows,
+        title="E2 / Theorem 1.2 — round-approximation tradeoff (n=%d)" % N,
+    )
+    emit(table, sink_path=results_sink)
+
+    benchmark.pedantic(
+        lambda: apsp_tradeoff(graph, 2, rng_for("e2:kernel")),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bound_decreases_in_t(results_sink, benchmark):
+    """The formula side of the claim: the bound strictly improves with t."""
+    bounds = [tradeoff_factor_bound(1 << 20, t) for t in range(1, 8)]
+    assert all(b1 > b2 for b1, b2 in zip(bounds, bounds[1:]))
+    rows = [(t + 1, round(b, 2)) for t, b in enumerate(bounds)]
+    table = format_table(
+        ["t", "bound at n=2^20"],
+        rows,
+        title="E2b — O(log^(2^-t) n) bound is strictly decreasing in t",
+    )
+    emit(table, sink_path=results_sink)
+    benchmark.pedantic(lambda: bounds, rounds=1, iterations=1)

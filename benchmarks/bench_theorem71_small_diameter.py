@@ -1,0 +1,74 @@
+"""E12 — Theorem 7.1: small-diameter APSP in both model variants.
+
+The table contrasts the standard-model path (3-spanner on the skeleton,
+21-approx) with the CC[log^3 n] path (full skeleton broadcast, 7-approx):
+better bandwidth buys a smaller constant, same round shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.cclique import RoundLedger
+from repro.core import apsp_small_diameter
+from repro.graphs import check_estimate
+
+from conftest import exact_for, rng_for, workload
+
+
+def run_variant(n: int, mode: str):
+    graph = workload("grid", n)
+    exact = exact_for("grid", n)
+    words = 1 if mode == "cc" else max(1, math.ceil(math.log2(graph.n) ** 2))
+    ledger = RoundLedger(graph.n, bandwidth_words=words)
+    result = apsp_small_diameter(
+        graph, rng_for(f"e12:{mode}:{n}"), ledger=ledger, mode=mode
+    )
+    report = check_estimate(exact, result.estimate)
+    assert report.sound
+    assert report.max_stretch <= result.factor + 1e-9
+    return graph.n, result, report, ledger
+
+
+def test_variant_table(results_sink, benchmark):
+    rows = []
+    for n in (64, 144):
+        for mode, model in (("cc", "CC[log n]"), ("cc3", "CC[log^3 n]")):
+            size, result, report, ledger = run_variant(n, mode)
+            bound = 21.0 if mode == "cc" else 7.0
+            assert result.factor <= bound + 1e-9
+            rows.append(
+                (
+                    size,
+                    model,
+                    round(result.factor, 1),
+                    round(report.max_stretch, 3),
+                    ledger.total_rounds,
+                )
+            )
+    table = format_table(
+        ["n", "model", "factor bound", "max stretch", "rounds (in model)"],
+        rows,
+        title="E12 / Theorem 7.1 — 21-approx (CC) vs 7-approx (CC[log^3 n]) on grids",
+    )
+    emit(table, sink_path=results_sink)
+
+    graph = workload("grid", 64)
+    benchmark.pedantic(
+        lambda: apsp_small_diameter(graph, rng_for("e12:kernel")),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bandwidth_buys_constant(results_sink, benchmark):
+    """The cc3 factor bound (7) is strictly better than cc (21)."""
+    _, cc_result, _, _ = run_variant(64, "cc")
+    _, cc3_result, _, _ = run_variant(64, "cc3")
+    assert cc3_result.factor < cc_result.factor
+    benchmark.pedantic(
+        lambda: (cc_result.factor, cc3_result.factor), rounds=1, iterations=1
+    )

@@ -1,0 +1,76 @@
+"""E13 — Theorem 8.1: general graphs in CC[log^4 n].
+
+The weight-scaling pipeline on polynomially weighted graphs: number of
+active scales, the per-scale bandwidth context, and the end-to-end factor
+against 7^3 (1+eps)^2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.cclique import RoundLedger
+from repro.core import apsp_large_bandwidth
+from repro.graphs import check_estimate
+
+from conftest import exact_for, rng_for, workload
+
+BOUND = 7**3 * 1.1**2
+
+
+def test_theorem81_table(results_sink, benchmark):
+    rows = []
+    for family in ("er", "poly"):
+        graph = workload(family, 96)
+        exact = exact_for(family, 96)
+        ledger = RoundLedger(graph.n)
+        result = apsp_large_bandwidth(graph, rng_for(f"e13:{family}"), ledger=ledger)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert result.factor <= BOUND + 1e-6
+        assert report.max_stretch <= result.factor + 1e-9
+        rows.append(
+            (
+                family,
+                len(result.meta["scales"]),
+                result.meta["hopset_beta"],
+                result.meta["skeleton_nodes"],
+                round(result.factor, 1),
+                round(report.max_stretch, 3),
+                ledger.total_rounds,
+            )
+        )
+    table = format_table(
+        [
+            "family",
+            "active scales",
+            "hopset beta",
+            "|V_S|",
+            "factor bound",
+            "max stretch",
+            "rounds",
+        ],
+        rows,
+        title=f"E13 / Theorem 8.1 — general graphs, bound {BOUND:.0f} (n=96)",
+    )
+    emit(table, sink_path=results_sink)
+
+    graph = workload("er", 96)
+    benchmark.pedantic(
+        lambda: apsp_large_bandwidth(graph, rng_for("e13:kernel")),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_polynomial_weights_activate_scales(results_sink, benchmark):
+    """Heavy weights spread pairs across more scale indices."""
+    light = apsp_large_bandwidth(workload("er", 96), rng_for("e13a"))
+    heavy = apsp_large_bandwidth(workload("poly", 96), rng_for("e13b"))
+    assert len(heavy.meta["scales"]) >= len(light.meta["scales"])
+    benchmark.pedantic(
+        lambda: (light.meta["scales"], heavy.meta["scales"]),
+        rounds=1,
+        iterations=1,
+    )

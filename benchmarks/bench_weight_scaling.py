@@ -1,0 +1,69 @@
+"""E7 — Lemma 8.1: weight scaling.
+
+Per scale index i: the graph G_i's (clipped) weighted diameter against the
+ceil(2/eps) h^2 cap, and the assembled eta's two guarantees (eta >= d
+everywhere; eta <= (1+eps) l d on h-hop-covered pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.core import (
+    assemble_eta,
+    build_scaled_graph,
+    clip_estimate,
+    plan_scaling,
+    verify_scaling_guarantees,
+)
+from repro.graphs import exact_apsp, weighted_diameter_from_matrix
+from repro.semiring import minplus_power
+
+from conftest import exact_for, rng_for, workload
+
+N = 64
+H = 6
+EPS = 0.5
+
+
+def test_weight_scaling_table(results_sink, benchmark):
+    graph = workload("poly", N)
+    exact = exact_for("poly", N)
+    plan = plan_scaling(exact, h=H, eps=EPS)
+    estimates = {}
+    rows = []
+    for i in plan.needed:
+        scaled = build_scaled_graph(graph, i, plan)
+        clipped = clip_estimate(exact_apsp(scaled), plan)
+        estimates[i] = clipped
+        diameter = weighted_diameter_from_matrix(clipped)
+        assert diameter <= plan.cap
+        pairs = int(np.sum(plan.index == i)) - N  # minus the diagonal share
+        rows.append((i, 2**i, int(diameter), int(plan.cap), max(0, pairs)))
+    eta = assemble_eta(estimates, plan)
+    hop_ok = np.isclose(minplus_power(graph.matrix(), H), exact)
+    assert verify_scaling_guarantees(exact, eta, hop_ok, l_factor=1.0, eps=EPS)
+    table = format_table(
+        ["scale i", "x=2^i", "diam(G_i)", "cap B h^2", "pairs assigned"],
+        rows,
+        title=(
+            f"E7 / Lemma 8.1 — scaled graphs (poly weights, n={N}, h={H}, "
+            f"eps={EPS}); eta guarantees verified"
+        ),
+    )
+    emit(table, sink_path=results_sink)
+
+    benchmark.pedantic(
+        lambda: plan_scaling(exact, h=H, eps=EPS), rounds=1, iterations=1
+    )
+
+
+def test_scale_count_logarithmic(results_sink, benchmark):
+    """O(log n) scales even with polynomially large weights."""
+    graph = workload("poly", N)
+    exact = exact_for("poly", N)
+    plan = plan_scaling(exact, h=H, eps=EPS)
+    assert len(plan.needed) <= np.log2(float(np.max(exact[np.isfinite(exact)])) + 2) + 2
+    benchmark.pedantic(lambda: plan.needed, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Shared workloads and reporting for the benchmark/experiment harness.
+
+Every module regenerates one experiment from DESIGN.md's per-experiment
+index (E1-E12).  Conventions:
+
+* each experiment prints a markdown table ("paper claim" vs "measured") and
+  appends it to ``bench_results.md`` at the repo root;
+* each experiment also times a representative kernel via pytest-benchmark,
+  so ``pytest benchmarks/ --benchmark-only`` doubles as a perf harness;
+* tables must state the *bound* next to the *measured* value — the
+  reproduction's claim is "measured within bound, shape as in the paper".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    erdos_renyi,
+    exact_apsp,
+    grid_graph,
+    heavy_tail_weights,
+    path_with_shortcuts,
+    polynomial_weights,
+)
+
+RESULTS_FILE = os.path.join(os.path.dirname(__file__), "..", "bench_results.md")
+
+
+def sink_path() -> str:
+    return os.path.abspath(RESULTS_FILE)
+
+
+@pytest.fixture(scope="session")
+def results_sink() -> str:
+    """Results file, truncated once per session."""
+    path = sink_path()
+    marker = path + ".session"
+    if not os.path.exists(marker) or os.environ.get("REPRO_FRESH", "1") == "1":
+        with open(path, "w", encoding="utf-8") as sink:
+            sink.write("# Benchmark results (regenerated)\n\n")
+        with open(marker, "w", encoding="utf-8") as m:
+            m.write("session\n")
+        os.environ["REPRO_FRESH"] = "0"
+    return path
+
+
+def rng_for(tag: str) -> np.random.Generator:
+    return np.random.default_rng(abs(hash(tag)) % (2**32))
+
+
+_EXACT_CACHE: Dict[str, np.ndarray] = {}
+_GRAPH_CACHE: Dict[str, WeightedGraph] = {}
+
+
+def workload(name: str, n: int) -> WeightedGraph:
+    """Named, cached benchmark workloads."""
+    key = f"{name}:{n}"
+    if key not in _GRAPH_CACHE:
+        rng = rng_for(key)
+        if name == "er":
+            graph = erdos_renyi(n, min(1.0, 6.0 / n), rng)
+        elif name == "er-dense":
+            graph = erdos_renyi(n, min(1.0, 24.0 / n), rng)
+        elif name == "grid":
+            side = max(2, int(round(n**0.5)))
+            graph = grid_graph(side, rng)
+        elif name == "path":
+            graph = path_with_shortcuts(n, rng, shortcut_count=n // 10)
+        elif name == "heavy":
+            graph = erdos_renyi(n, min(1.0, 8.0 / n), rng, weights=heavy_tail_weights())
+        elif name == "poly":
+            graph = erdos_renyi(
+                n, min(1.0, 8.0 / n), rng, weights=polynomial_weights(n, 2.5)
+            )
+        else:
+            raise ValueError(f"unknown workload {name!r}")
+        _GRAPH_CACHE[key] = graph
+    return _GRAPH_CACHE[key]
+
+
+def exact_for(name: str, n: int) -> np.ndarray:
+    key = f"{name}:{n}"
+    if key not in _EXACT_CACHE:
+        _EXACT_CACHE[key] = exact_apsp(workload(name, n))
+    return _EXACT_CACHE[key]

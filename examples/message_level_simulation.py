@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Driving the message-level Congested Clique simulator directly.
+
+Three demonstrations of the "physical" layer underneath the cost model:
+
+1. the Section 2.3 broadcast trick (n words to everyone in 2 rounds);
+2. Lenzen-style routing of a full-load instance (n messages in and out of
+   every node) in a measured constant number of rounds;
+3. a complete distributed protocol: synchronous Bellman-Ford APSP written
+   as a per-node ``NodeProgram``, verified against the exact oracle.
+
+Run:  python examples/message_level_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimulatedClique, erdos_renyi, exact_apsp
+from repro.cclique import Message, broadcast_words, route_two_phase
+from repro.protocols import run_distributed_bellman_ford
+
+
+def demo_broadcast() -> None:
+    n = 16
+    clique = SimulatedClique(n, bandwidth_words=2)
+    words = [f"w{i}" for i in range(n)]
+    received, rounds = broadcast_words(clique, source=0, words=words)
+    ok = all(row == words for row in received)
+    print(f"[broadcast]  {n} words to {n} nodes in {rounds} rounds "
+          f"({'ok' if ok else 'FAILED'})")
+
+
+def demo_routing() -> None:
+    n = 32
+    rng = np.random.default_rng(0)
+    messages = []
+    for _ in range(n):  # full load: n messages in and out per node
+        perm = rng.permutation(n)
+        messages.extend(
+            Message(s, int(perm[s]), (s,)) for s in range(n)
+        )
+    _, stats = route_two_phase(messages, n)
+    print(f"[routing]    {stats.messages} messages at full load "
+          f"in {stats.rounds} rounds (Lemma 2.1 says O(1))")
+
+
+def demo_bellman_ford() -> None:
+    n = 12
+    rng = np.random.default_rng(1)
+    graph = erdos_renyi(n, 0.4, rng)
+    run = run_distributed_bellman_ford(graph)
+    exact = exact_apsp(graph)
+    worst = float(np.max(np.abs(run.estimate - exact)))
+    print(f"[protocol]   distributed Bellman-Ford on {graph}: "
+          f"{run.rounds} rounds, max error {worst:.0f}")
+
+
+if __name__ == "__main__":
+    demo_broadcast()
+    demo_routing()
+    demo_bellman_ford()

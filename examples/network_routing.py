@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Network routing from approximate APSP — the paper's motivating use case.
+
+The introduction motivates Congested Clique APSP by "its close connection
+to network routing".  This example plays that out on a simulated ISP-like
+topology (preferential attachment — heavy-tailed degrees):
+
+1. every node learns approximate distances via the Theorem 7.1 pipeline;
+2. routing tables are derived greedily from the estimates;
+3. packets are forwarded between random pairs and measured for delivery
+   rate and path stretch, compared against tables built from a plain
+   O(log n)-spanner estimate (the prior O(1)-round state of the art).
+
+The point: the constant-factor estimate buys visibly shorter routes than
+the spanner-only estimate at a comparable (near-constant) round budget.
+
+Run:  python examples/network_routing.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import apsp_small_diameter, exact_apsp, preferential_attachment
+from repro import spanner_only_baseline
+from repro.cclique import RoundLedger
+from repro.core.routing_tables import greedy_route, routing_quality
+from repro.graphs import heavy_tail_weights
+
+
+def main(n: int = 128) -> None:
+    rng = np.random.default_rng(7)
+    graph = preferential_attachment(n, 2, rng, weights=heavy_tail_weights())
+    exact = exact_apsp(graph)
+    print(f"topology: {graph} (heavy-tailed degrees, heavy-tailed latencies)")
+    print()
+
+    candidates = {}
+    ledger = RoundLedger(n)
+    ours = apsp_small_diameter(graph, rng, ledger=ledger)
+    candidates["this paper (Thm 7.1)"] = (ours, ledger.total_rounds)
+
+    ledger = RoundLedger(n)
+    spanner = spanner_only_baseline(graph, rng, ledger=ledger)
+    candidates["spanner-only [CZ22]"] = (spanner, ledger.total_rounds)
+
+    print(f"{'tables from':<24} {'rounds':>6} {'bound':>7} "
+          f"{'delivery':>9} {'mean stretch':>13} {'max':>7}")
+    for name, (result, rounds) in candidates.items():
+        quality = routing_quality(graph, result.estimate, exact, rng, samples=400)
+        print(
+            f"{name:<24} {rounds:>6} {result.factor:>7.1f} "
+            f"{quality.delivery_rate:>8.1%} {quality.mean_stretch:>13.3f} "
+            f"{quality.max_stretch:>7.3f}"
+        )
+
+    # Show one concrete route.
+    print()
+    source, target = 1, n - 1
+    route = greedy_route(graph, ours.estimate, source, target)
+    print(
+        f"example packet {source} -> {target}: "
+        f"{' -> '.join(map(str, route.path))}"
+    )
+    print(
+        f"  length {route.length:.0f} vs optimal {exact[source, target]:.0f} "
+        f"({route.length / exact[source, target]:.2f}x)"
+    )
+
+    # Where the paper wins: the spanner guarantee is O(log n) — it *grows*
+    # with the network — while Theorem 7.1's stays 21 for every n.
+    from repro.spanners import bootstrap_b
+
+    print()
+    print("guarantee scaling (spanner factor = 1.1 * (2b-1), b ~ log n / 3):")
+    for big_n in (n, 10**6, 2**30, 2**40):
+        spanner_factor = 1.1 * (2 * bootstrap_b(big_n) - 1)
+        winner = "spanner" if spanner_factor < 21 else "THIS PAPER"
+        print(f"  n = {big_n:>14,}: spanner {spanner_factor:>5.1f} vs ours 21.0"
+              f"  -> {winner}")
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    main(size)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Spending a round budget: the Theorem 1.2 tradeoff in practice.
+
+A Congested Clique deployment rarely wants "the best possible
+approximation" — it wants "the best approximation I can afford in r
+rounds".  Theorem 1.2 gives the menu: for each t >= 1, an
+O(log^(2^-t) n)-approximation in O(t) rounds.
+
+This example sweeps t, reporting for each the formula bound, the
+pipeline's concrete guarantee, the measured stretch and the measured
+ledger rounds — then picks the smallest t whose measured rounds fit a
+user-supplied budget.
+
+Run:  python examples/round_budget_planning.py [budget_rounds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import apsp_tradeoff, erdos_renyi, exact_apsp
+from repro.cclique import RoundLedger
+from repro.core import tradeoff_factor_bound
+from repro.graphs import check_estimate, polynomial_weights
+
+
+def main(budget: int = 250) -> None:
+    n = 96
+    rng = np.random.default_rng(11)
+    graph = erdos_renyi(n, 8.0 / n, rng, weights=polynomial_weights(n, 2.0))
+    exact = exact_apsp(graph)
+    print(f"graph: {graph}; round budget: {budget}")
+    print()
+    print(f"{'t':>2} {'O(log^(2^-t) n)':>16} {'guarantee':>10} "
+          f"{'measured':>9} {'rounds':>7} {'fits?':>6}")
+
+    best = None
+    for t in range(1, 5):
+        ledger = RoundLedger(n)
+        result = apsp_tradeoff(graph, t, rng, ledger=ledger)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        fits = ledger.total_rounds <= budget
+        print(
+            f"{t:>2} {tradeoff_factor_bound(n, t):>16.1f} "
+            f"{result.factor:>10.1f} {report.max_stretch:>9.3f} "
+            f"{ledger.total_rounds:>7} {'yes' if fits else 'no':>6}"
+        )
+        if fits and (best is None or report.max_stretch < best[1]):
+            best = (t, report.max_stretch)
+
+    print()
+    if best is None:
+        print("no t fits the budget — fall back to the spanner-only baseline")
+    else:
+        print(
+            f"recommendation: t = {best[0]} "
+            f"(measured stretch {best[1]:.3f} within budget)"
+        )
+
+
+if __name__ == "__main__":
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+    main(rounds)

@@ -1,0 +1,16 @@
+"""Legacy setup shim (environment lacks the `wheel` package for PEP 660)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Improved All-Pairs Approximate Shortest Paths "
+        "in Congested Clique' (PODC 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Improved All-Pairs Approximate Shortest Paths in
+Congested Clique" (Bui, Chandra, Chang, Dory, Leitersdorf; PODC 2024).
+
+Quickstart::
+
+    import numpy as np
+    from repro import approximate_apsp, erdos_renyi
+
+    rng = np.random.default_rng(0)
+    graph = erdos_renyi(128, 0.05, rng)
+    result = approximate_apsp(graph, rng=rng)
+    print(result.factor)                    # guaranteed approximation factor
+    print(result.meta["ledger"].total_rounds)  # Congested Clique rounds
+
+Package layout (see DESIGN.md):
+
+* :mod:`repro.cclique` — Congested Clique simulator + round accounting,
+* :mod:`repro.graphs` — graph containers, generators, exact distances,
+* :mod:`repro.semiring` — min-plus algebra, filtered matrix powers,
+* :mod:`repro.spanners` — spanner constructions (Lemma 7.1),
+* :mod:`repro.mst` — Borůvka engine for the zero-weight reduction,
+* :mod:`repro.core` — the paper's algorithms (Sections 4–8),
+* :mod:`repro.analysis` — stretch profiles and experiment tables.
+"""
+
+from .cclique import RoundLedger, SimulatedClique
+from .core import (
+    Estimate,
+    approximate_apsp,
+    apsp_large_bandwidth,
+    apsp_small_diameter,
+    apsp_theorem11,
+    apsp_tradeoff,
+    build_knearest_hopset,
+    build_skeleton,
+    exact_apsp_baseline,
+    knearest_exact_via_hopset,
+    knearest_iterated,
+    lift_zero_weights,
+    reduce_approximation,
+    spanner_only_baseline,
+    uy90_baseline,
+)
+from .graphs import (
+    WeightedGraph,
+    erdos_renyi,
+    exact_apsp,
+    grid_graph,
+    path_with_shortcuts,
+    preferential_attachment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Estimate",
+    "RoundLedger",
+    "SimulatedClique",
+    "WeightedGraph",
+    "approximate_apsp",
+    "apsp_large_bandwidth",
+    "apsp_small_diameter",
+    "apsp_theorem11",
+    "apsp_tradeoff",
+    "build_knearest_hopset",
+    "build_skeleton",
+    "erdos_renyi",
+    "exact_apsp",
+    "exact_apsp_baseline",
+    "grid_graph",
+    "knearest_exact_via_hopset",
+    "knearest_iterated",
+    "lift_zero_weights",
+    "path_with_shortcuts",
+    "preferential_attachment",
+    "reduce_approximation",
+    "spanner_only_baseline",
+    "uy90_baseline",
+    "__version__",
+]

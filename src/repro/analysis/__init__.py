@@ -1,0 +1,18 @@
+"""Analysis helpers: stretch profiles, experiment sweeps, table rendering."""
+
+from .experiments import SweepCase, SweepResult, SweepSummary, run_sweep
+from .reporting import emit, format_table, results_path
+from .stretch import StretchProfile, stretch_profile, summarize_stretch
+
+__all__ = [
+    "StretchProfile",
+    "SweepCase",
+    "SweepResult",
+    "SweepSummary",
+    "emit",
+    "format_table",
+    "results_path",
+    "run_sweep",
+    "stretch_profile",
+    "summarize_stretch",
+]

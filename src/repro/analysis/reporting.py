@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmarks print paper-style tables ("who wins, by what factor, where
+is the crossover") to stdout and optionally append them to a results file;
+EXPERIMENTS.md is assembled from these tables.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table (markdown-compatible pipes)."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in materialized:
+        padded = [cell.ljust(w) for cell, w in zip(row, widths)]
+        lines.append("| " + " | ".join(padded) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def emit(table: str, sink_path: Optional[str] = None) -> None:
+    """Print a table; optionally append it to a results file."""
+    print()
+    print(table)
+    print()
+    if sink_path:
+        with open(sink_path, "a", encoding="utf-8") as sink:
+            sink.write(table)
+            sink.write("\n\n")
+
+
+def results_path(default: str = "bench_results.md") -> Optional[str]:
+    """Results sink path from ``REPRO_RESULTS`` (None disables writing)."""
+    value = os.environ.get("REPRO_RESULTS", "")
+    if value == "":
+        return None
+    if value == "1":
+        return default
+    return value

@@ -1,0 +1,57 @@
+"""Stretch analysis of distance estimates against ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.validation import ApproximationReport, check_estimate
+
+
+@dataclass
+class StretchProfile:
+    """Distribution of per-pair stretch values for one estimate."""
+
+    report: ApproximationReport
+    percentiles: Dict[int, float]
+    factor_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Measured max stretch does not exceed the advertised factor."""
+        return self.report.max_stretch <= self.factor_bound * (1 + 1e-9)
+
+
+def stretch_profile(
+    exact: np.ndarray,
+    estimate: np.ndarray,
+    factor_bound: float,
+    percentiles: Sequence[int] = (50, 90, 99, 100),
+) -> StretchProfile:
+    """Full stretch distribution of an estimate vs exact distances."""
+    report = check_estimate(exact, estimate)
+    n = exact.shape[0]
+    off_diag = ~np.eye(n, dtype=bool)
+    mask = np.isfinite(exact) & off_diag & (exact > 0)
+    values = np.asarray(estimate)[mask] / np.asarray(exact)[mask]
+    values = values[np.isfinite(values)]
+    pct: Dict[int, float] = {}
+    for p in percentiles:
+        pct[p] = float(np.percentile(values, p)) if values.size else 1.0
+    return StretchProfile(report=report, percentiles=pct, factor_bound=factor_bound)
+
+
+def summarize_stretch(profile: StretchProfile) -> str:
+    """One-line human-readable summary used by benches and examples."""
+    pieces = [
+        f"max {profile.report.max_stretch:.3f}",
+        f"mean {profile.report.mean_stretch:.3f}",
+        f"p50 {profile.percentiles.get(50, float('nan')):.3f}",
+        f"bound {profile.factor_bound:.1f}",
+        "OK" if profile.within_bound else "VIOLATED",
+    ]
+    if not profile.report.sound:
+        pieces.append(f"UNDERESTIMATES={profile.report.underestimates}")
+    return ", ".join(pieces)

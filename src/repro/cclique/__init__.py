@@ -1,0 +1,58 @@
+"""Congested Clique substrate: simulator, routing, and round accounting.
+
+Two layers (see DESIGN.md, section 2):
+
+* :mod:`repro.cclique.model` — message-level simulator with per-pair
+  bandwidth enforcement; :mod:`~repro.cclique.routing` and
+  :mod:`~repro.cclique.broadcast` run real communication schedules on it.
+* :mod:`repro.cclique.accounting` — the :class:`RoundLedger` cost model the
+  APSP algorithms charge their communication against, with load validation.
+"""
+
+from .accounting import LedgerEntry, RoundLedger
+from .broadcast import all_to_all_one_word, broadcast_words, gather_one_word
+from .errors import (
+    BandwidthExceededError,
+    CongestedCliqueError,
+    InvalidNodeError,
+    LoadPreconditionError,
+    MessageTooLargeError,
+    ProtocolError,
+)
+from .message import Envelope, Message, word_bits
+from .model import NodeProgram, SimulatedClique
+from .routing import (
+    RoutingStats,
+    route_direct,
+    route_randomized,
+    route_two_phase,
+    validate_loads,
+)
+from .trace import RoundSnapshot, TraceRecorder, traced_drain
+
+__all__ = [
+    "BandwidthExceededError",
+    "CongestedCliqueError",
+    "Envelope",
+    "InvalidNodeError",
+    "LedgerEntry",
+    "LoadPreconditionError",
+    "Message",
+    "MessageTooLargeError",
+    "NodeProgram",
+    "ProtocolError",
+    "RoundLedger",
+    "RoundSnapshot",
+    "RoutingStats",
+    "SimulatedClique",
+    "TraceRecorder",
+    "traced_drain",
+    "all_to_all_one_word",
+    "broadcast_words",
+    "gather_one_word",
+    "route_direct",
+    "route_randomized",
+    "route_two_phase",
+    "validate_loads",
+    "word_bits",
+]

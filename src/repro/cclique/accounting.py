@@ -1,0 +1,276 @@
+"""Round accounting for Congested Clique algorithms.
+
+The Congested Clique model charges only communication: local computation is
+free and round complexity is a pure function of the communication schedule.
+The :class:`RoundLedger` meters that schedule.  Every communication primitive
+used by the algorithm layer (routing, broadcast, matrix products, spanner
+calls, ...) charges its round cost here, tagged with a phase name and the
+bandwidth context it runs in, so experiments can report per-phase and total
+round counts and attribute them to the paper's lemmas.
+
+Ledger charges also *validate* the load preconditions of the routing lemmas
+they stand for: a primitive that would be overloaded in the real model raises
+:class:`~repro.cclique.errors.LoadPreconditionError` instead of silently
+charging a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from . import costs
+from .errors import LoadPreconditionError
+
+#: Safety factor applied to "O(n) messages per node" preconditions.  The
+#: paper's lemmas hide a constant; we allow loads up to this multiple of n
+#: before declaring the instance overloaded.  32 accommodates the largest
+#: constant appearing in the paper's own load arguments (Lemma 5.3 bounds
+#: per-node receive loads by small multiples of n).
+LOAD_CONSTANT = 32.0
+
+
+@dataclass
+class LedgerEntry:
+    """One charge on the ledger."""
+
+    phase: str
+    rounds: int
+    bandwidth_words: int = 1
+    detail: str = ""
+
+    @property
+    def standard_rounds(self) -> int:
+        """Rounds after simulating the bandwidth context in the standard model.
+
+        Simulating ``Congested-Clique[c * log n]`` in the standard model
+        splits each message into ``c`` words, a slowdown of exactly ``c``.
+        """
+        return self.rounds * max(1, int(self.bandwidth_words))
+
+
+class RoundLedger:
+    """Accumulates round charges for one algorithm execution.
+
+    Parameters
+    ----------
+    n:
+        Clique size; used to validate load preconditions.
+    bandwidth_words:
+        Words per message in the current model variant.  ``1`` is the
+        standard Congested Clique; ``k`` models ``Congested-Clique[k log n]``.
+    """
+
+    def __init__(self, n: int, bandwidth_words: int = 1) -> None:
+        if n < 1:
+            raise ValueError("clique size must be >= 1")
+        if bandwidth_words < 1:
+            raise ValueError("bandwidth_words must be >= 1")
+        self.n = n
+        self.bandwidth_words = bandwidth_words
+        self.entries: List[LedgerEntry] = []
+        self._phase_stack: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Phase management
+    # ------------------------------------------------------------------ #
+
+    def phase(self, name: str) -> "_PhaseContext":
+        """Context manager scoping subsequent charges under ``name``.
+
+        Nested phases produce dotted names, e.g. ``"thm7.1/hopset"``.
+        """
+        return _PhaseContext(self, name)
+
+    def _current_phase(self) -> str:
+        return "/".join(self._phase_stack) if self._phase_stack else "<top>"
+
+    # ------------------------------------------------------------------ #
+    # Charging primitives
+    # ------------------------------------------------------------------ #
+
+    def charge(self, rounds: int, detail: str = "") -> None:
+        """Charge a raw number of rounds in the current phase."""
+        if rounds < 0:
+            raise ValueError("cannot charge negative rounds")
+        if rounds == 0:
+            return
+        self.entries.append(
+            LedgerEntry(
+                phase=self._current_phase(),
+                rounds=int(rounds),
+                bandwidth_words=self.bandwidth_words,
+                detail=detail,
+            )
+        )
+
+    def charge_lenzen_routing(
+        self,
+        max_sent_per_node: int,
+        max_received_per_node: int,
+        detail: str = "Lenzen routing [Len13]",
+    ) -> None:
+        """Charge Lemma 2.1 after validating its O(n)-load precondition."""
+        self._validate_load("Lenzen routing", max_sent_per_node, max_received_per_node)
+        self.charge(costs.LENZEN_ROUTING_ROUNDS, detail)
+
+    def charge_redundancy_routing(
+        self,
+        max_received_per_node: int,
+        detail: str = "redundancy routing [CFG+20, Cor 7]",
+    ) -> None:
+        """Charge Lemma 2.2: receivers bounded by O(n); senders may duplicate.
+
+        Lemma 2.2 drops the bound on the number of *sent* messages (senders
+        with O(n log n)-bit state can be assisted by helper nodes), so only
+        the receive load is validated.
+        """
+        self._validate_load("redundancy routing", 0, max_received_per_node)
+        self.charge(costs.REDUNDANCY_ROUTING_ROUNDS, detail)
+
+    def charge_all_to_all(self, detail: str = "all-to-all word exchange") -> None:
+        """Charge one round in which every ordered pair exchanges one word."""
+        self.charge(costs.ALL_TO_ALL_ROUNDS, detail)
+
+    def charge_broadcast(
+        self,
+        total_words: int,
+        detail: str = "broadcast",
+    ) -> None:
+        """Charge broadcasting ``total_words`` words to all nodes.
+
+        A single node can broadcast O(n) words in O(1) rounds (Lemma 2.2
+        discussion in Section 2.3); ``w`` words overall therefore cost
+        ``ceil(w / (n * bandwidth))`` such primitives, since a wider
+        bandwidth carries proportionally more words per message.
+        """
+        if total_words < 0:
+            raise ValueError("total_words must be >= 0")
+        if total_words == 0:
+            return
+        capacity = self.n * self.bandwidth_words
+        batches = -(-int(total_words) // capacity)  # ceil division
+        self.charge(batches * costs.BROADCAST_LINEAR_ROUNDS, detail)
+
+    def charge_sparse_matmul(
+        self,
+        rho_s: float,
+        rho_t: float,
+        rho_st: float,
+        detail: str = "sparse min-plus product [CDKL21, Thm 8]",
+    ) -> int:
+        """Charge a density-priced sparse min-plus product; returns rounds."""
+        rounds = costs.sparse_matmul_rounds(self.n, rho_s, rho_t, rho_st)
+        self.charge(rounds, detail)
+        return rounds
+
+    def charge_spanner(self, detail: str = "spanner [CZ22]") -> None:
+        """Charge the constant-round spanner construction of Lemma 7.1."""
+        self.charge(costs.CZ22_SPANNER_ROUNDS, detail)
+
+    def charge_mst(self, detail: str = "MST [Now21]") -> None:
+        """Charge the O(1)-round deterministic MST used by Theorem 2.1."""
+        self.charge(costs.NOWICKI_MST_ROUNDS, detail)
+
+    def charge_hitting_set(self, detail: str = "hitting set [DFKL21, Lem 4.1]") -> None:
+        """Charge the O(1)-round hitting-set construction of Lemma 6.2."""
+        self.charge(costs.HITTING_SET_ROUNDS, detail)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_rounds(self) -> int:
+        """Total rounds in the bandwidth contexts the charges were made in."""
+        return sum(entry.rounds for entry in self.entries)
+
+    @property
+    def total_standard_rounds(self) -> int:
+        """Total rounds after simulating larger bandwidths word-by-word."""
+        return sum(entry.standard_rounds for entry in self.entries)
+
+    def rounds_by_phase(self) -> Dict[str, int]:
+        """Aggregate charged rounds per (dotted) phase name."""
+        out: Dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.phase] = out.get(entry.phase, 0) + entry.rounds
+        return out
+
+    def merge(self, other: "RoundLedger", prefix: Optional[str] = None) -> None:
+        """Fold another ledger's entries into this one.
+
+        Used when a sub-algorithm runs with its own ledger (e.g. per scaled
+        graph ``G_i``) and the caller wants a combined account.
+        """
+        for entry in other.entries:
+            phase = entry.phase if prefix is None else f"{prefix}/{entry.phase}"
+            self.entries.append(
+                LedgerEntry(
+                    phase=phase,
+                    rounds=entry.rounds,
+                    bandwidth_words=entry.bandwidth_words,
+                    detail=entry.detail,
+                )
+            )
+
+    def merge_parallel(self, others: List["RoundLedger"], prefix: str) -> None:
+        """Fold ledgers of algorithms that ran *in parallel*.
+
+        Parallel composition in the Congested Clique costs the maximum of the
+        component round counts, provided the combined bandwidth fits the
+        model variant (the caller is responsible for the bandwidth argument,
+        as in Theorem 8.1's parallel runs over the scaled graphs).  The
+        charge is recorded as a single entry whose bandwidth context is the
+        sum of the components'.
+        """
+        if not others:
+            return
+        rounds = max(o.total_rounds for o in others)
+        words = sum(o.bandwidth_words for o in others)
+        self.entries.append(
+            LedgerEntry(
+                phase=f"{self._current_phase()}/{prefix}",
+                rounds=rounds,
+                bandwidth_words=words,
+                detail=f"parallel composition of {len(others)} runs",
+            )
+        )
+
+    def _validate_load(self, name: str, sent: int, received: int) -> None:
+        limit = LOAD_CONSTANT * self.n
+        if sent > limit:
+            raise LoadPreconditionError(
+                f"{name}: a node sends {sent} messages, exceeding "
+                f"{LOAD_CONSTANT} * n = {limit:.0f}"
+            )
+        if received > limit:
+            raise LoadPreconditionError(
+                f"{name}: a node receives {received} messages, exceeding "
+                f"{LOAD_CONSTANT} * n = {limit:.0f}"
+            )
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoundLedger(n={self.n}, rounds={self.total_rounds}, "
+            f"entries={len(self.entries)})"
+        )
+
+
+@dataclass
+class _PhaseContext:
+    ledger: RoundLedger
+    name: str
+    _pushed: bool = field(default=False, init=False)
+
+    def __enter__(self) -> RoundLedger:
+        self.ledger._phase_stack.append(self.name)
+        self._pushed = True
+        return self.ledger
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._pushed:
+            self.ledger._phase_stack.pop()

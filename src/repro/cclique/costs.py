@@ -1,0 +1,95 @@
+"""Round costs of the black-box primitives cited by the paper.
+
+The paper composes its algorithms from a small set of routines whose round
+complexity is taken from prior work.  This module is the single place where
+those constants live, each with its provenance, so that every ledger charge
+in the code base can be traced back to a citation.
+
+All constants are *model rounds* in the standard Congested Clique
+(``B = log n`` bits per message).  They are deliberately explicit integers:
+the paper only claims ``O(1)`` for each, and the reproduction fixes a
+concrete constant per primitive so the measured totals are deterministic
+and comparable across runs.  The exact values do not affect any
+approximation guarantee; they only scale the reported round counts by a
+constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Lemma 2.1 [Len13]: deterministic routing of O(n) messages in/out per node.
+#: Lenzen's construction gives a constant-round schedule; we charge 2 rounds
+#: for the delivery plus 1 round of schedule setup.
+LENZEN_ROUTING_ROUNDS = 3
+
+#: Lemma 2.2 [CFG+20, Corollary 7]: routing when receivers get O(n) messages
+#: and sender state is O(n log n) bits (helpers reconstruct outgoing data).
+REDUNDANCY_ROUTING_ROUNDS = 4
+
+#: One all-to-all exchange where every ordered pair exchanges one word.
+ALL_TO_ALL_ROUNDS = 1
+
+#: Broadcasting O(n) words from one node to everyone (via Lemma 2.2-style
+#: helpers: send one word to each node, then all-to-all).
+BROADCAST_LINEAR_ROUNDS = 2
+
+#: Lemma 7.1 [CZ22, Theorems 1.2/1.3]: constant-round spanner construction.
+CZ22_SPANNER_ROUNDS = 6
+
+#: [Now21]: deterministic MST in O(1) rounds of Congested Clique.
+NOWICKI_MST_ROUNDS = 5
+
+#: Hitting-set construction in Lemma 6.2 (random sampling + fix-up + O(log n)
+#: parallel repetitions compressed into O(1) rounds of 1-bit messages).
+HITTING_SET_ROUNDS = 2
+
+#: Local recomputation steps the paper counts as "zero rounds".
+FREE = 0
+
+
+def sparse_matmul_rounds(n: int, rho_s: float, rho_t: float, rho_st: float) -> int:
+    """Rounds for the sparse min-plus product of [CDKL21, Theorem 8].
+
+    ``O((rho_S * rho_T * rho_ST)^(1/3) / n^(2/3) + 1)`` rounds, where
+    ``rho_M`` is the average number of finite entries per row of ``M``.
+    The returned value is the ceiling of that expression with constant 1,
+    which is exact enough for relative comparisons across experiments.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (clique size).
+    rho_s, rho_t, rho_st:
+        Densities (average finite entries per row) of the two factors and of
+        the product.  Callers may pass upper bounds; the formula is monotone.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rho_s = max(1.0, float(rho_s))
+    rho_t = max(1.0, float(rho_t))
+    rho_st = max(1.0, float(rho_st))
+    work = (rho_s * rho_t * rho_st) ** (1.0 / 3.0)
+    return int(math.ceil(work / n ** (2.0 / 3.0))) + 1
+
+
+def dense_matmul_rounds(n: int) -> int:
+    """Rounds for one dense min-plus product, ``O(n^(1/3))`` [CKK+19].
+
+    Used only by the exact-APSP baseline.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return int(math.ceil(n ** (1.0 / 3.0)))
+
+
+def bandwidth_factor(n: int, bandwidth_words: int) -> int:
+    """Slowdown for simulating ``Congested-Clique[B]`` in the standard model.
+
+    An algorithm designed for bandwidth ``B = bandwidth_words * log n`` runs
+    in the standard model with a multiplicative overhead equal to the number
+    of words per message, by splitting each large message into words.
+    """
+    if bandwidth_words < 1:
+        raise ValueError("bandwidth_words must be >= 1")
+    return int(bandwidth_words)

@@ -1,0 +1,65 @@
+"""Exception types for the Congested Clique substrate.
+
+Every violated model constraint raises a dedicated exception so tests can
+assert on the *kind* of violation (bandwidth overflow, load precondition,
+protocol misuse) rather than on error strings.
+"""
+
+from __future__ import annotations
+
+
+class CongestedCliqueError(Exception):
+    """Base class for all Congested Clique model violations."""
+
+
+class BandwidthExceededError(CongestedCliqueError):
+    """A node tried to send more than one message to a peer in one round."""
+
+    def __init__(self, sender: int, receiver: int, round_index: int) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.round_index = round_index
+        super().__init__(
+            f"node {sender} attempted a second message to node {receiver} "
+            f"in round {round_index}; the model allows one message per "
+            f"ordered pair per round"
+        )
+
+
+class MessageTooLargeError(CongestedCliqueError):
+    """A message exceeded the model's per-message bit budget O(B)."""
+
+    def __init__(self, bits: int, limit: int) -> None:
+        self.bits = bits
+        self.limit = limit
+        super().__init__(
+            f"message of {bits} bits exceeds the per-message limit of "
+            f"{limit} bits"
+        )
+
+
+class LoadPreconditionError(CongestedCliqueError):
+    """A routing lemma's load precondition was violated.
+
+    Lemma 2.1 [Len13] and Lemma 2.2 [CFG+20] only promise O(1) rounds when
+    every node sends/receives O(n) messages.  The ledger primitives count the
+    actual loads and raise this error when a caller exceeds the allowed
+    constant factor, because silently charging O(1) rounds for an overloaded
+    routing instance would falsify every downstream round count.
+    """
+
+    def __init__(self, description: str) -> None:
+        super().__init__(description)
+
+
+class InvalidNodeError(CongestedCliqueError):
+    """A message referenced a node ID outside ``range(n)``."""
+
+    def __init__(self, node: int, n: int) -> None:
+        self.node = node
+        self.n = n
+        super().__init__(f"node id {node} outside clique of size {n}")
+
+
+class ProtocolError(CongestedCliqueError):
+    """An algorithm used the simulator API out of order."""

@@ -1,0 +1,233 @@
+"""Message-level simulator for the Congested Clique model.
+
+This is the "physical" layer of the reproduction: ``n`` nodes, synchronous
+rounds, and a complete communication graph where each ordered pair of nodes
+may exchange **one** message of ``O(B)`` bits per round.  The simulator
+enforces both constraints and raises on violations, so algorithms validated
+here are genuinely implementable in the model.
+
+Two styles of use are supported:
+
+* **Programmatic** — drive the clique round by round from a test or an
+  algorithm harness: stage messages with :meth:`SimulatedClique.send`, call
+  :meth:`SimulatedClique.step`, read inboxes.
+* **Node programs** — subclass :class:`NodeProgram` and run a full synchronous
+  protocol with :meth:`SimulatedClique.run`.
+
+The heavyweight APSP algorithms use the :class:`~repro.cclique.accounting.
+RoundLedger` cost layer instead (see DESIGN.md section 2); the simulator is
+used to validate the communication primitives those charges stand for, and to
+run small end-to-end distributed programs in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import (
+    BandwidthExceededError,
+    InvalidNodeError,
+    MessageTooLargeError,
+    ProtocolError,
+)
+from .message import Message, word_bits
+
+
+class SimulatedClique:
+    """A synchronous fully connected message-passing network.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; IDs are ``0 .. n-1``.  (The paper renames IDs to
+        ``1..n``; zero-based indexing is the Python-side convention.)
+    bandwidth_words:
+        Maximum payload size per message, in machine words of
+        ``Theta(log n)`` bits.  ``1`` is the standard model; larger values
+        model ``Congested-Clique[B]``.
+    strict:
+        When True (default), sending a second message to the same receiver
+        in one round raises :class:`BandwidthExceededError`.  When False the
+        extra messages spill into subsequent rounds automatically and the
+        spill count is recorded — useful for measuring how congested a naive
+        protocol would be.
+    """
+
+    def __init__(self, n: int, bandwidth_words: int = 1, strict: bool = True) -> None:
+        if n < 1:
+            raise ValueError("clique size must be >= 1")
+        if bandwidth_words < 1:
+            raise ValueError("bandwidth_words must be >= 1")
+        self.n = n
+        self.bandwidth_words = bandwidth_words
+        self.strict = strict
+        self.round_index = 0
+        self._outboxes: Dict[Tuple[int, int], Message] = {}
+        self._spill: List[Message] = []
+        self._inboxes: List[List[Message]] = [[] for _ in range(n)]
+        self.messages_delivered = 0
+        self.words_delivered = 0
+        self.spill_rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # Sending / stepping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bits_per_message(self) -> int:
+        """Per-message bit budget in this model variant."""
+        return self.bandwidth_words * word_bits(self.n)
+
+    def send(self, message: Message) -> None:
+        """Stage ``message`` for delivery at the end of the current round."""
+        self._check_node(message.sender)
+        self._check_node(message.receiver)
+        bits = message.size_bits(self.n)
+        if bits > self.bits_per_message:
+            raise MessageTooLargeError(bits, self.bits_per_message)
+        key = (message.sender, message.receiver)
+        if key in self._outboxes:
+            if self.strict:
+                raise BandwidthExceededError(
+                    message.sender, message.receiver, self.round_index
+                )
+            self._spill.append(message)
+            return
+        self._outboxes[key] = message
+
+    def send_all(self, messages: Iterable[Message]) -> None:
+        """Stage many messages; order within a (sender, receiver) pair matters."""
+        for message in messages:
+            self.send(message)
+
+    def step(self) -> int:
+        """Deliver all staged messages and advance one synchronous round.
+
+        Returns the new round index.  In non-strict mode, spilled messages
+        are re-staged first, so repeated calls eventually drain everything;
+        ``spill_rounds`` counts the extra rounds caused by congestion.
+        """
+        delivered = self._outboxes
+        self._outboxes = {}
+        for (_, receiver), message in delivered.items():
+            self._inboxes[receiver].append(message)
+            self.messages_delivered += 1
+            self.words_delivered += message.size_words()
+        self.round_index += 1
+        if self._spill:
+            self.spill_rounds += 1
+            pending, self._spill = self._spill, []
+            for message in pending:
+                self.send(message)
+        return self.round_index
+
+    def drain(self, max_rounds: int = 10_000) -> int:
+        """Step until no staged or spilled messages remain.
+
+        Returns the number of rounds used.  Only meaningful in non-strict
+        mode (strict mode never spills).
+        """
+        used = 0
+        while self._outboxes or self._spill:
+            if used >= max_rounds:
+                raise ProtocolError(
+                    f"drain did not finish within {max_rounds} rounds"
+                )
+            self.step()
+            used += 1
+        return used
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+
+    def inbox(self, node: int, clear: bool = True) -> List[Message]:
+        """Messages delivered to ``node`` since the last read."""
+        self._check_node(node)
+        messages = self._inboxes[node]
+        if clear:
+            self._inboxes[node] = []
+        return messages
+
+    def pending_messages(self) -> int:
+        """Messages staged (plus spilled) but not yet delivered."""
+        return len(self._outboxes) + len(self._spill)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise InvalidNodeError(node, self.n)
+
+    # ------------------------------------------------------------------ #
+    # Running node programs
+    # ------------------------------------------------------------------ #
+
+    def run(self, programs: Sequence["NodeProgram"], max_rounds: int = 10_000) -> int:
+        """Execute one :class:`NodeProgram` per node until all halt.
+
+        Each round: every non-halted program's :meth:`NodeProgram.on_round`
+        is called with the messages received in the previous round, and its
+        returned messages are staged.  Returns the number of rounds taken.
+        """
+        if len(programs) != self.n:
+            raise ProtocolError(
+                f"need exactly {self.n} programs, got {len(programs)}"
+            )
+        for node_id, program in enumerate(programs):
+            program._attach(node_id, self)
+        rounds = 0
+        while any(not p.halted for p in programs):
+            if rounds >= max_rounds:
+                raise ProtocolError(f"protocol did not halt in {max_rounds} rounds")
+            for program in programs:
+                if program.halted:
+                    continue
+                incoming = self.inbox(program.node_id)
+                outgoing = program.on_round(incoming) or []
+                for message in outgoing:
+                    if message.sender != program.node_id:
+                        raise ProtocolError(
+                            f"node {program.node_id} tried to forge sender "
+                            f"{message.sender}"
+                        )
+                    self.send(message)
+            self.step()
+            rounds += 1
+        return rounds
+
+
+class NodeProgram:
+    """Base class for a per-node synchronous protocol.
+
+    Subclasses implement :meth:`on_round`, returning the messages to send
+    this round, and call :meth:`halt` when their part of the protocol is
+    done.  The clique size and own ID are available after attachment.
+    """
+
+    def __init__(self) -> None:
+        self.node_id: int = -1
+        self.n: int = 0
+        self.halted = False
+        self._clique: Optional[SimulatedClique] = None
+
+    def _attach(self, node_id: int, clique: SimulatedClique) -> None:
+        self.node_id = node_id
+        self.n = clique.n
+        self._clique = clique
+        self.halted = False
+
+    def on_round(self, inbox: List[Message]) -> List[Message]:
+        """Process one synchronous round; return messages to send.
+
+        ``inbox`` holds the messages delivered at the end of the previous
+        round.  The default implementation halts immediately.
+        """
+        self.halt()
+        return []
+
+    def msg(self, receiver: int, *payload, tag: str = "") -> Message:
+        """Convenience constructor for a message from this node."""
+        return Message(self.node_id, receiver, tuple(payload), tag)
+
+    def halt(self) -> None:
+        """Mark this node's protocol as finished."""
+        self.halted = True

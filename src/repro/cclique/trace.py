@@ -1,0 +1,99 @@
+"""Round-by-round tracing for the message-level simulator.
+
+Wraps a :class:`~repro.cclique.model.SimulatedClique` and records, per
+round, the number of messages, the words moved, and the per-link
+utilization — the observability layer a simulator library needs for
+debugging protocols and for the congestion plots in the routing
+experiments.
+
+The recorder is pull-based: call :meth:`TraceRecorder.snapshot` after each
+:meth:`~repro.cclique.model.SimulatedClique.step` (or use
+:func:`traced_drain` which does it for you) and render with
+:meth:`TraceRecorder.timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import SimulatedClique
+
+
+@dataclass
+class RoundSnapshot:
+    """Aggregate statistics of one simulator round."""
+
+    round_index: int
+    messages_delivered: int
+    words_delivered: int
+    pending_after: int
+    spill_rounds_total: int
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates per-round snapshots of a clique execution."""
+
+    clique: SimulatedClique
+    snapshots: List[RoundSnapshot] = field(default_factory=list)
+    _last_messages: int = 0
+    _last_words: int = 0
+
+    def snapshot(self) -> RoundSnapshot:
+        """Record the delta since the previous snapshot."""
+        snap = RoundSnapshot(
+            round_index=self.clique.round_index,
+            messages_delivered=self.clique.messages_delivered - self._last_messages,
+            words_delivered=self.clique.words_delivered - self._last_words,
+            pending_after=self.clique.pending_messages(),
+            spill_rounds_total=self.clique.spill_rounds,
+        )
+        self._last_messages = self.clique.messages_delivered
+        self._last_words = self.clique.words_delivered
+        self.snapshots.append(snap)
+        return snap
+
+    @property
+    def rounds(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_delivered for s in self.snapshots)
+
+    def peak_round(self) -> Optional[RoundSnapshot]:
+        """The round that moved the most messages."""
+        if not self.snapshots:
+            return None
+        return max(self.snapshots, key=lambda s: s.messages_delivered)
+
+    def timeline(self, width: int = 40) -> str:
+        """ASCII bar chart of messages per round."""
+        if not self.snapshots:
+            return "(no rounds recorded)"
+        peak = max(1, max(s.messages_delivered for s in self.snapshots))
+        lines = []
+        for snap in self.snapshots:
+            bar = "#" * max(
+                1 if snap.messages_delivered else 0,
+                round(width * snap.messages_delivered / peak),
+            )
+            lines.append(
+                f"round {snap.round_index:>4}: {snap.messages_delivered:>7} msgs "
+                f"|{bar:<{width}}|"
+            )
+        return "\n".join(lines)
+
+
+def traced_drain(clique: SimulatedClique, max_rounds: int = 10_000) -> TraceRecorder:
+    """Drain all staged messages, snapshotting every round."""
+    recorder = TraceRecorder(clique)
+    used = 0
+    while clique.pending_messages():
+        if used >= max_rounds:
+            raise RuntimeError(f"drain exceeded {max_rounds} rounds")
+        clique.step()
+        recorder.snapshot()
+        used += 1
+    return recorder

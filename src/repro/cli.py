@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run``
+    Run one APSP variant on a generated workload; print the factor, the
+    measured stretch, and the round breakdown.
+
+``frontier``
+    Print the rounds/stretch frontier (all baselines + the paper's
+    algorithms) on one workload — the E8 experiment on demand.
+
+``tradeoff``
+    Sweep Theorem 1.2's t on one workload.
+
+``simulate``
+    Exercise the message-level simulator: broadcast, full-load routing,
+    distributed Bellman-Ford.
+
+All commands take ``--n``, ``--family`` and ``--seed``; outputs are plain
+text tables, suitable for piping into experiment logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_table, stretch_profile, summarize_stretch
+from .cclique import Message, RoundLedger, route_two_phase
+from .core import (
+    apsp_small_diameter,
+    apsp_theorem11,
+    apsp_tradeoff,
+    exact_apsp_baseline,
+    spanner_only_baseline,
+    uy90_baseline,
+)
+from .graphs import (
+    WeightedGraph,
+    check_estimate,
+    erdos_renyi,
+    exact_apsp,
+    grid_graph,
+    heavy_tail_weights,
+    path_with_shortcuts,
+    polynomial_weights,
+    preferential_attachment,
+)
+from .protocols import run_distributed_bellman_ford
+
+FAMILIES = ("er", "er-dense", "grid", "path", "pa", "heavy", "poly")
+
+
+def build_workload(family: str, n: int, rng: np.random.Generator) -> WeightedGraph:
+    """Construct one of the named workload graphs."""
+    if family == "er":
+        return erdos_renyi(n, min(1.0, 6.0 / n), rng)
+    if family == "er-dense":
+        return erdos_renyi(n, min(1.0, 24.0 / n), rng)
+    if family == "grid":
+        side = max(2, int(round(n**0.5)))
+        return grid_graph(side, rng)
+    if family == "path":
+        return path_with_shortcuts(n, rng, shortcut_count=n // 10)
+    if family == "pa":
+        return preferential_attachment(n, 2, rng)
+    if family == "heavy":
+        return erdos_renyi(n, min(1.0, 8.0 / n), rng, weights=heavy_tail_weights())
+    if family == "poly":
+        return erdos_renyi(
+            n, min(1.0, 8.0 / n), rng, weights=polynomial_weights(n, 2.5)
+        )
+    raise ValueError(f"unknown family {family!r}; choose from {FAMILIES}")
+
+
+def _common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=96, help="number of nodes")
+    parser.add_argument(
+        "--family", choices=FAMILIES, default="er", help="workload family"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    exact = exact_apsp(graph)
+    ledger = RoundLedger(graph.n)
+    if args.variant == "theorem11":
+        result = apsp_theorem11(graph, rng, ledger=ledger)
+    elif args.variant == "small-diameter":
+        result = apsp_small_diameter(graph, rng, ledger=ledger)
+    elif args.variant == "tradeoff":
+        result = apsp_tradeoff(graph, args.t, rng, ledger=ledger)
+    else:
+        result = exact_apsp_baseline(graph, ledger=ledger)
+    profile = stretch_profile(exact, result.estimate, result.factor)
+    print(f"graph   : {graph}")
+    print(f"variant : {args.variant}")
+    print(f"factor  : {result.factor:.2f}")
+    print(f"stretch : {summarize_stretch(profile)}")
+    print(f"rounds  : {ledger.total_rounds}")
+    print()
+    rows = sorted(ledger.rounds_by_phase().items())
+    print(format_table(["phase", "rounds"], rows))
+    return 0
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    exact = exact_apsp(graph)
+    rows = []
+    algorithms = [
+        ("exact matmul", lambda led: exact_apsp_baseline(graph, ledger=led)),
+        ("UY90", lambda led: uy90_baseline(graph, rng, ledger=led)),
+        ("spanner-only", lambda led: spanner_only_baseline(graph, rng, ledger=led)),
+        ("thm 7.1", lambda led: apsp_small_diameter(graph, rng, ledger=led)),
+        ("thm 1.1", lambda led: apsp_theorem11(graph, rng, ledger=led)),
+    ]
+    for name, runner in algorithms:
+        ledger = RoundLedger(graph.n)
+        result = runner(ledger)
+        report = check_estimate(exact, result.estimate)
+        rows.append(
+            (
+                name,
+                ledger.total_rounds,
+                round(result.factor, 1),
+                round(report.max_stretch, 3),
+            )
+        )
+    print(
+        format_table(
+            ["algorithm", "rounds", "factor bound", "max stretch"],
+            rows,
+            title=f"frontier on {args.family} (n={graph.n})",
+        )
+    )
+    return 0
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    exact = exact_apsp(graph)
+    rows = []
+    for t in range(1, args.max_t + 1):
+        ledger = RoundLedger(graph.n)
+        result = apsp_tradeoff(graph, t, rng, ledger=ledger)
+        report = check_estimate(exact, result.estimate)
+        rows.append(
+            (
+                t,
+                round(result.meta["tradeoff_bound"], 1),
+                round(result.factor, 1),
+                round(report.max_stretch, 3),
+                ledger.total_rounds,
+            )
+        )
+    print(
+        format_table(
+            ["t", "formula bound", "chained factor", "max stretch", "rounds"],
+            rows,
+            title=f"Theorem 1.2 tradeoff on {args.family} (n={graph.n})",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    n = min(args.n, 48)  # the message-level simulator is per-message
+    messages = []
+    for _ in range(n):
+        perm = rng.permutation(n)
+        messages.extend(Message(s, int(perm[s]), (s,)) for s in range(n))
+    _, stats = route_two_phase(messages, n)
+    print(f"routing  : {stats.messages} messages at full load "
+          f"in {stats.rounds} rounds")
+    graph = build_workload("er", min(n, 16), rng)
+    run = run_distributed_bellman_ford(graph)
+    exact = exact_apsp(graph)
+    error = float(np.max(np.abs(run.estimate - exact)))
+    print(f"protocol : Bellman-Ford on {graph}: {run.rounds} rounds, "
+          f"max error {error:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Congested Clique approximate APSP (PODC 2024) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one APSP variant")
+    _common_arguments(run_parser)
+    run_parser.add_argument(
+        "--variant",
+        choices=("theorem11", "small-diameter", "tradeoff", "exact"),
+        default="theorem11",
+    )
+    run_parser.add_argument("--t", type=int, default=2, help="tradeoff parameter")
+    run_parser.set_defaults(handler=cmd_run)
+
+    frontier_parser = subparsers.add_parser(
+        "frontier", help="baselines vs the paper on one workload"
+    )
+    _common_arguments(frontier_parser)
+    frontier_parser.set_defaults(handler=cmd_frontier)
+
+    tradeoff_parser = subparsers.add_parser(
+        "tradeoff", help="sweep Theorem 1.2's t"
+    )
+    _common_arguments(tradeoff_parser)
+    tradeoff_parser.add_argument("--max-t", type=int, default=4)
+    tradeoff_parser.set_defaults(handler=cmd_tradeoff)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="message-level simulator demos"
+    )
+    _common_arguments(simulate_parser)
+    simulate_parser.set_defaults(handler=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

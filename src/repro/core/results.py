@@ -1,0 +1,27 @@
+"""Shared result container for the APSP pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+
+@dataclass
+class Estimate:
+    """A distance estimate plus the factor it is guaranteed to satisfy.
+
+    ``estimate[u, v]`` always satisfies ``d(u, v) <= estimate[u, v]``; the
+    pipelines additionally guarantee ``estimate[u, v] <= factor * d(u, v)``
+    (w.h.p. for the randomized ones, as in the paper).  ``meta`` carries
+    pipeline-specific diagnostics (skeleton sizes, parameters used, ...).
+    """
+
+    estimate: np.ndarray
+    factor: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.estimate.shape[0]

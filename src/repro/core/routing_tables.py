@@ -1,0 +1,153 @@
+"""Compact routing from APSP estimates.
+
+The introduction motivates distributed APSP by its "close connection to
+network routing": once every node holds (approximate) distances to every
+destination, packets can be forwarded greedily — each node hands the packet
+to the neighbour minimizing ``w(u, v) + estimate(v, target)``.
+
+With *exact* distances greedy forwarding follows shortest paths.  With an
+``alpha``-approximate estimate the next hop can be suboptimal and, in the
+worst case, cyclic; :func:`greedy_route` therefore tracks visited nodes and
+reports failures, and :func:`routing_quality` measures the empirical
+success rate and path stretch — the quantity a routing-table consumer of
+this library actually cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.graph import WeightedGraph
+
+
+@dataclass
+class Route:
+    """One greedy forwarding attempt."""
+
+    path: List[int]
+    length: float
+    delivered: bool
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+def next_hop_table(graph: WeightedGraph, estimate: np.ndarray) -> np.ndarray:
+    """``table[u, t]`` = the neighbour ``u`` forwards to for target ``t``.
+
+    The greedy rule: minimize ``w(u, v) + estimate(v, t)`` over neighbours
+    ``v`` of ``u`` (ties by neighbour ID).  ``-1`` marks "no neighbour"
+    (isolated node or all-infinite estimates).  ``table[t, t] = t``.
+    """
+    n = graph.n
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if estimate.shape != (n, n):
+        raise ValueError("estimate must be (n, n)")
+    table = np.full((n, n), -1, dtype=np.int64)
+    adjacency = graph.adjacency()
+    for u in range(n):
+        neighbours = adjacency[u]
+        if not neighbours:
+            continue
+        ids = np.array([v for v, _ in neighbours], dtype=np.int64)
+        weights = np.array([w for _, w in neighbours])
+        # scores[j, t] = w(u, ids[j]) + estimate[ids[j], t]
+        scores = weights[:, None] + estimate[ids, :]
+        best = np.argmin(scores, axis=0)  # first minimum = smallest ID after
+        # adjacency sort (weight, id); re-break ties strictly by ID:
+        order = np.lexsort((ids, weights))
+        ids_sorted = ids[order]
+        scores_sorted = scores[order]
+        best = np.argmin(scores_sorted, axis=0)
+        table[u, :] = ids_sorted[best]
+        finite = np.isfinite(scores_sorted[best, np.arange(n)])
+        table[u, ~finite] = -1
+    np.fill_diagonal(table, np.arange(n))
+    return table
+
+
+def greedy_route(
+    graph: WeightedGraph,
+    estimate: np.ndarray,
+    source: int,
+    target: int,
+    max_hops: Optional[int] = None,
+    table: Optional[np.ndarray] = None,
+) -> Route:
+    """Forward a packet greedily from ``source`` to ``target``.
+
+    Stops on arrival, on a dead end, on a revisited node (loop), or after
+    ``max_hops`` (default ``2 n``).
+    """
+    n = graph.n
+    if table is None:
+        table = next_hop_table(graph, estimate)
+    if max_hops is None:
+        max_hops = 2 * n
+    matrix = graph.matrix()
+    path = [source]
+    length = 0.0
+    visited = {source}
+    current = source
+    while current != target and len(path) <= max_hops:
+        nxt = int(table[current, target])
+        if nxt < 0 or not np.isfinite(matrix[current, nxt]):
+            return Route(path=path, length=length, delivered=False)
+        length += float(matrix[current, nxt])
+        path.append(nxt)
+        if nxt in visited:
+            return Route(path=path, length=length, delivered=False)
+        visited.add(nxt)
+        current = nxt
+    return Route(path=path, length=length, delivered=current == target)
+
+
+@dataclass
+class RoutingQuality:
+    """Aggregate forwarding statistics over sampled pairs."""
+
+    attempts: int
+    delivered: int
+    mean_stretch: float
+    max_stretch: float
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.attempts if self.attempts else 1.0
+
+
+def routing_quality(
+    graph: WeightedGraph,
+    estimate: np.ndarray,
+    exact: np.ndarray,
+    rng: np.random.Generator,
+    samples: int = 200,
+) -> RoutingQuality:
+    """Sample source/target pairs and measure greedy-forwarding quality."""
+    n = graph.n
+    table = next_hop_table(graph, estimate)
+    stretches: List[float] = []
+    delivered = 0
+    attempts = 0
+    for _ in range(samples):
+        source = int(rng.integers(0, n))
+        target = int(rng.integers(0, n))
+        if source == target or not np.isfinite(exact[source, target]):
+            continue
+        attempts += 1
+        route = greedy_route(graph, estimate, source, target, table=table)
+        if route.delivered:
+            delivered += 1
+            stretches.append(route.length / exact[source, target])
+    if not stretches:
+        return RoutingQuality(attempts, delivered, float("nan"), float("nan"))
+    return RoutingQuality(
+        attempts=attempts,
+        delivered=delivered,
+        mean_stretch=float(np.mean(stretches)),
+        max_stretch=float(np.max(stretches)),
+    )

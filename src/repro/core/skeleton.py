@@ -1,0 +1,328 @@
+"""Skeleton graphs (Section 6, Lemmas 3.4 and 6.1–6.4).
+
+Given (possibly approximate) distances from every node to its k-nearest
+set, the skeleton construction reduces APSP on ``G`` to APSP on a graph
+``G_S`` with ``O(n log k / k)`` nodes, losing a factor ``7 l a^2``:
+
+1. **Hitting set** ``S`` (Lemma 6.2): sample each node with probability
+   ``ln k / k``, O(log n) parallel repetitions, plus the deterministic
+   fix-up that adds every node whose ``~N_k`` set was missed.
+2. **Centers**: ``c(u)`` is the skeleton node nearest to ``u`` under the
+   given estimate ``delta`` (ties by ID).
+3. **Skeleton edges**: for every triplet ``(u, v, t)`` with ``t ∈ ~N_k(u)``
+   and (``{t, v} ∈ E`` or ``t = v``), an edge ``c(u) -- c(v)`` of weight
+   ``delta(c(u), u) + delta(u, t) + w_tv + delta(v, c(v))``, realised with
+   the ``x``/``y`` matrices and one sparse min-plus product.
+4. **Extension** (Lemma 6.3): given an l-approximation on ``G_S``,
+   ``eta(u, v) = delta(u, c(u)) + delta_GS(c(u), c(v)) + delta(c(v), v)``
+   for pairs outside the known sets, and ``delta(u, v)`` inside.
+
+The implementation follows the matrix formulation of Section 6.2 exactly,
+with the sparse products charged at the measured densities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cclique.accounting import RoundLedger
+from ..graphs.graph import WeightedGraph
+from ..semiring.minplus import INF
+from ..semiring.sparse import sparse_minplus
+from . import params
+
+
+class SkeletonError(ValueError):
+    """Invalid inputs to the skeleton construction."""
+
+
+@dataclass
+class Skeleton:
+    """The output of the Lemma 6.1 construction.
+
+    Attributes
+    ----------
+    nodes:
+        Skeleton node IDs in ``G`` (sorted).
+    graph:
+        ``G_S`` re-indexed to ``0 .. |S|-1`` (position in ``nodes``).
+    center:
+        ``center[u]`` = compact index (into ``nodes``) of ``c(u)``.
+    center_delta:
+        ``delta(u, c(u))`` per node.
+    known_values / known mask:
+        The symmetric "local" estimate: ``delta(u, v)`` for ``v ∈ ~N_k(u)``
+        (or ``u ∈ ~N_k(v)``), inf elsewhere.
+    a:
+        The approximation factor the input estimate satisfied.
+    k:
+        Neighbourhood size used.
+    """
+
+    nodes: np.ndarray
+    graph: WeightedGraph
+    center: np.ndarray
+    center_delta: np.ndarray
+    known: np.ndarray
+    a: float
+    k: int
+    size_bound: float
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def build_hitting_set(
+    nbr_indices: np.ndarray,
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    repetitions: Optional[int] = None,
+    ledger: Optional[RoundLedger] = None,
+) -> np.ndarray:
+    """Lemma 6.2's hitting set: ``S`` intersects every ``~N_k(v)``.
+
+    Runs ``O(log n)`` independent repetitions of (sample with probability
+    ``ln k / k``; add every node whose set was missed) and keeps the
+    smallest result — exactly the amplification argument in the proof.
+    Returns a sorted array of member IDs.
+    """
+    if nbr_indices.shape[0] != n:
+        raise SkeletonError("neighbour table must have one row per node")
+    if repetitions is None:
+        repetitions = max(1, int(math.ceil(math.log2(max(2, n)))))
+    probability = min(1.0, math.log(max(2, k)) / k)
+    best: Optional[np.ndarray] = None
+    for _ in range(repetitions):
+        sampled = rng.random(n) < probability
+        member_rows = np.where(nbr_indices >= 0, sampled[nbr_indices], False)
+        missed = ~member_rows.any(axis=1)
+        sampled = sampled | missed
+        if best is None or sampled.sum() < best.sum():
+            best = sampled
+    assert best is not None
+    if ledger is not None:
+        ledger.charge_hitting_set()
+    return np.flatnonzero(best)
+
+
+def skeleton_xy_matrices(
+    graph: WeightedGraph,
+    nbr_indices: np.ndarray,
+    nbr_values: np.ndarray,
+    center: np.ndarray,
+    center_delta: np.ndarray,
+    size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``x`` and ``y`` matrices of Lemma 6.2 (Step 3 of Section 6.1).
+
+    ``x[s_a, t] = min over u with c(u)=s_a, t ∈ ~N_k(u) of
+    delta(s_a, u) + delta(u, t)``;
+    ``y[t, s_b] = min over v with c(v)=s_b and {t, v} ∈ E of
+    w_tv + delta(v, s_b)``, plus the ``t = v`` case (weight 0).
+
+    Exposed publicly so the message-level protocol implementation can be
+    cross-validated against exactly this computation.
+    """
+    n = graph.n
+    k = nbr_indices.shape[1]
+    x = np.full((size, n), INF)
+    rows = np.repeat(center, k)
+    cols = nbr_indices.ravel()
+    vals = (center_delta[:, None] + nbr_values).ravel()
+    keep = (cols >= 0) & np.isfinite(vals)
+    np.minimum.at(x, (rows[keep], cols[keep]), vals[keep])
+
+    y = np.full((n, size), INF)
+    eu = graph.edge_u
+    ev = graph.edge_v
+    ew = graph.edge_w
+    if len(eu):
+        np.minimum.at(y, (eu, center[ev]), ew + center_delta[ev])
+        np.minimum.at(y, (ev, center[eu]), ew + center_delta[eu])
+    np.minimum.at(y, (np.arange(n), center), center_delta)
+    return x, y
+
+
+def build_skeleton(
+    graph: WeightedGraph,
+    nbr_indices: np.ndarray,
+    nbr_values: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    a: float = 1.0,
+    ledger: Optional[RoundLedger] = None,
+) -> Skeleton:
+    """Lemmas 3.4 / 6.1: construct the skeleton graph ``G_S`` in O(1) rounds.
+
+    Parameters
+    ----------
+    graph:
+        The weighted undirected input graph ``G``.
+    nbr_indices, nbr_values:
+        ``(n, k)`` arrays: ``~N_k(u)`` member IDs (ID/value sorted, -1 pad)
+        and the estimates ``delta(u, .)`` on them.  For the simplified
+        Lemma 3.4, pass the exact k-nearest output of Lemma 3.3 and
+        ``a = 1``.  For the full Lemma 6.1, the caller is responsible for
+        conditions (C1)/(C2) — checked in tests via
+        :func:`verify_skeleton_conditions`.
+    k:
+        Neighbourhood size (``nbr_indices.shape[1]``).
+    a:
+        Approximation factor of the supplied estimates.
+    """
+    if graph.directed:
+        raise SkeletonError("skeleton graphs require an undirected graph")
+    n = graph.n
+    if nbr_indices.shape != (n, k) or nbr_values.shape != (n, k):
+        raise SkeletonError("neighbour tables must be (n, k)")
+
+    # Step 1: hitting set.
+    members = build_hitting_set(nbr_indices, n, k, rng, ledger=ledger)
+    size = len(members)
+    compact = np.full(n, -1, dtype=np.int64)
+    compact[members] = np.arange(size)
+
+    # Step 2: centers.  Rows of nbr_* are sorted by (value, ID), so the
+    # first member of S in each row is the delta-closest, ID tie-broken.
+    in_s = np.zeros(n, dtype=bool)
+    in_s[members] = True
+    member_mask = np.where(nbr_indices >= 0, in_s[nbr_indices], False)
+    if not member_mask.any(axis=1).all():
+        raise SkeletonError("hitting set misses some ~N_k(v); fix-up failed")
+    first_pos = member_mask.argmax(axis=1)
+    center_node = nbr_indices[np.arange(n), first_pos]
+    center = compact[center_node]
+    center_delta = nbr_values[np.arange(n), first_pos]
+
+    # Step 3: x and y matrices.
+    x, y = skeleton_xy_matrices(
+        graph, nbr_indices, nbr_values, center, center_delta, size
+    )
+
+    # Step 4: skeleton edge weights via one sparse min-plus product,
+    # priced with the analytic density bounds of Lemma 6.2
+    # (rho_X <= k, rho_Y <= |S|, rho_XY <= |S|^2 / n).
+    product = sparse_minplus(
+        x,
+        y,
+        ledger=ledger,
+        rho_st_bound=max(1.0, size * size / max(1, n)),
+        clique_n=n,
+        detail="skeleton edge weights X*Y [Lemma 6.2]",
+    )
+    weights = np.minimum(product.product, product.product.T)
+    np.fill_diagonal(weights, INF)  # self-loops are not edges
+    edges = [
+        (int(i), int(j), float(weights[i, j]))
+        for i, j in zip(*np.nonzero(np.isfinite(weights)))
+        if i < j
+    ]
+    skeleton_graph = WeightedGraph(
+        size if size > 0 else 1,
+        edges,
+        require_positive=False,
+        require_integer=False,
+    )
+
+    # The symmetric "known" estimate used by the extension step.
+    known = np.full((n, n), INF)
+    rows_all = np.repeat(np.arange(n), k)
+    cols_all = nbr_indices.ravel()
+    keep = (cols_all >= 0) & np.isfinite(nbr_values.ravel())
+    np.minimum.at(known, (rows_all[keep], cols_all[keep]), nbr_values.ravel()[keep])
+    known = np.minimum(known, known.T)
+    np.fill_diagonal(known, 0.0)
+
+    return Skeleton(
+        nodes=members,
+        graph=skeleton_graph,
+        center=center,
+        center_delta=center_delta,
+        known=known,
+        a=float(a),
+        k=k,
+        size_bound=params.skeleton_size_bound(n, k),
+    )
+
+
+def extend_estimate(
+    skeleton: Skeleton,
+    delta_gs: np.ndarray,
+    l_factor: float,
+    ledger: Optional[RoundLedger] = None,
+) -> Tuple[np.ndarray, float]:
+    """Lemma 6.3/6.4: extend an l-approximation on ``G_S`` to ``G``.
+
+    ``delta_gs`` is indexed by compact skeleton indices.  Returns
+    ``(eta, factor)`` with ``factor = 7 l a^2`` (Lemma 6.4).  The matrix
+    products ``A^T D A`` of Lemma 6.3 have density-1 factors; the two
+    sparse products are charged on the ledger.
+    """
+    size = skeleton.num_nodes
+    delta_gs = np.asarray(delta_gs, dtype=np.float64)
+    if delta_gs.shape != (size, size):
+        raise SkeletonError("delta_gs must be (|S|, |S|)")
+    if ledger is not None:
+        # B = D A (densities |S|^2/n, 1 -> |S|) and A^T B (1, |S| -> n);
+        # both products are O(1) rounds by the [CDKL21] formula.
+        n = len(skeleton.center)
+        ledger.charge_sparse_matmul(
+            max(1.0, size * size / max(1, n)),
+            1.0,
+            size,
+            detail="eta assembly D*A [Lemma 6.3]",
+        )
+        ledger.charge_sparse_matmul(
+            1.0, size, n, detail="eta assembly A^T*B [Lemma 6.3]"
+        )
+    through = (
+        skeleton.center_delta[:, None]
+        + delta_gs[skeleton.center][:, skeleton.center]
+        + skeleton.center_delta[None, :]
+    )
+    eta = np.where(np.isfinite(skeleton.known), skeleton.known, through)
+    np.fill_diagonal(eta, 0.0)
+    eta = np.minimum(eta, eta.T)
+    factor = 7.0 * l_factor * skeleton.a**2
+    return eta, factor
+
+
+def verify_skeleton_conditions(
+    exact: np.ndarray,
+    nbr_indices: np.ndarray,
+    nbr_values: np.ndarray,
+    a: float,
+    rtol: float = 1e-9,
+) -> bool:
+    """Check conditions (C1) and (C2) of Lemma 6.1 against exact distances.
+
+    (C1): ``d(u, v) <= delta(u, v) <= a d(u, v)`` for ``v ∈ ~N_k(u)``.
+    (C2): ``delta(u, v) <= a d(u, t)`` for ``v ∈ ~N_k(u)``, ``t ∉ ~N_k(u)``.
+    Used by tests and by the Theorem 8.1 pipeline's self-checks.
+    """
+    n = exact.shape[0]
+    k = nbr_indices.shape[1]
+    for u in range(n):
+        member = nbr_indices[u]
+        vals = nbr_values[u]
+        valid = member >= 0
+        ids = member[valid]
+        dv = exact[u, ids]
+        ev = vals[valid]
+        if np.any(ev < dv * (1 - rtol)) or np.any(ev > a * dv * (1 + rtol)):
+            return False
+        outside = np.ones(n, dtype=bool)
+        outside[ids] = False
+        outside[u] = False
+        if outside.any() and valid.any():
+            max_inside = ev.max()
+            min_outside_dist = exact[u, outside].min()
+            if max_inside > a * min_outside_dist * (1 + rtol):
+                return False
+    return True

@@ -1,0 +1,41 @@
+"""Round / approximation tradeoff (Section 8.4, Theorem 1.2).
+
+For any ``t >= 1``, an ``O(log^{2^{-t}} n)``-approximation in O(t) rounds:
+the Theorem 1.1 pipeline with the per-scale Theorem 7.1 solver replaced by
+the round-limited Lemma 8.2 solver with parameter ``t + 1`` (Lemma 8.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cclique.accounting import RoundLedger
+from ..graphs.graph import WeightedGraph
+from .apsp import apsp_theorem11
+from .results import Estimate
+from .small_diameter import apsp_round_limited, tradeoff_factor_bound
+
+
+def apsp_tradeoff(
+    graph: WeightedGraph,
+    t: int,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger] = None,
+    eps: float = 0.1,
+) -> Estimate:
+    """Theorem 1.2: ``O(log^{2^{-t}} n)``-approximate APSP in O(t) rounds."""
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    result = apsp_theorem11(graph, rng, ledger=ledger, eps=eps, tradeoff_t=t)
+    result.meta["t"] = t
+    result.meta["tradeoff_bound"] = tradeoff_factor_bound(graph.n, t)
+    return result
+
+
+__all__ = [
+    "apsp_round_limited",
+    "apsp_tradeoff",
+    "tradeoff_factor_bound",
+]

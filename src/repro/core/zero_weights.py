@@ -1,0 +1,104 @@
+"""Handling zero edge weights (Theorem 2.1, Appendix A).
+
+A black-box reduction: contract the connected components of the zero-weight
+subgraph (found via an O(1)-round MST, [Now21]), run any positive-weights
+APSP algorithm on the compressed graph of component leaders, and expand the
+answer — an overhead of O(1) rounds, preserving determinism and the
+approximation factor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..cclique.accounting import RoundLedger
+from ..graphs.graph import WeightedGraph
+from ..mst.boruvka import connected_components_zero_subgraph
+from .results import Estimate
+
+#: A solver for positive-integer-weighted APSP.
+PositiveSolver = Callable[[WeightedGraph], Estimate]
+
+
+def compress_zero_components(
+    graph: WeightedGraph,
+    ledger: Optional[RoundLedger] = None,
+) -> Tuple[np.ndarray, np.ndarray, WeightedGraph]:
+    """Steps 1–3 of Appendix A: leaders and the compressed graph.
+
+    Returns ``(leader, leaders, compressed)`` where ``leader[v]`` is the
+    smallest-ID member of ``v``'s zero-component, ``leaders`` is the sorted
+    array of distinct leaders, and ``compressed`` is the graph on
+    ``0..len(leaders)-1`` whose edge ``(a, b)`` carries the minimum weight
+    of any edge between the two components.
+    """
+    if graph.directed:
+        raise ValueError("the zero-weight reduction is for undirected graphs")
+    leader = connected_components_zero_subgraph(graph)
+    if ledger is not None:
+        ledger.charge_mst(detail="zero-component MST [Now21, Appendix A]")
+        # Step 3: every node sends one (component, weight) message per
+        # leader — one message per ordered (node, leader) pair.
+        ledger.charge_lenzen_routing(
+            max_sent_per_node=graph.n,
+            max_received_per_node=graph.n,
+            detail="minimum inter-component edge exchange",
+        )
+    leaders = np.unique(leader)
+    compact = {int(s): index for index, s in enumerate(leaders)}
+    best: dict = {}
+    for u, v, w in graph.edges():
+        cu, cv = int(leader[u]), int(leader[v])
+        if cu == cv:
+            continue
+        a, b = sorted((compact[cu], compact[cv]))
+        key = (a, b)
+        if key not in best or w < best[key]:
+            best[key] = w
+    edges = [(a, b, w) for (a, b), w in sorted(best.items())]
+    compressed = WeightedGraph(
+        max(1, len(leaders)),
+        edges,
+        require_positive=True,
+        require_integer=True,
+    )
+    return leader, leaders, compressed
+
+
+def lift_zero_weights(
+    graph: WeightedGraph,
+    solver: PositiveSolver,
+    ledger: Optional[RoundLedger] = None,
+) -> Estimate:
+    """Theorem 2.1: extend a positive-weights solver to zero weights.
+
+    The solver runs on the compressed leader graph; the expansion
+    ``eta(v, u) = delta(leader(v), leader(u))`` (0 within a component) is
+    one more O(1)-round exchange.
+    """
+    if graph.num_edges == 0 or float(graph.edge_w.min(initial=1.0)) > 0.0:
+        return solver(graph)
+    leader, leaders, compressed = compress_zero_components(graph, ledger)
+    inner = solver(compressed)
+    compact = {int(s): index for index, s in enumerate(leaders)}
+    mapping = np.array([compact[int(leader[v])] for v in range(graph.n)])
+    eta = inner.estimate[np.ix_(mapping, mapping)].copy()
+    same = mapping[:, None] == mapping[None, :]
+    eta[same] = 0.0
+    if ledger is not None:
+        # Final step: each leader sends delta(s, t) to every member of C(s).
+        ledger.charge_lenzen_routing(
+            max_sent_per_node=graph.n,
+            max_received_per_node=graph.n,
+            detail="distance expansion to component members",
+        )
+    return Estimate(
+        estimate=eta,
+        factor=inner.factor,
+        meta={
+            "zero_components": len(leaders),
+            "inner": inner.meta,
+        },
+    )

@@ -1,0 +1,172 @@
+"""Exact distance computations (ground truth and h-hop distances).
+
+These are the *reference* implementations the experiments compare against:
+scipy's Dijkstra gives exact APSP ground truth, and a Bellman-Ford-style
+recurrence gives exact ``h``-hop-bounded distances (the matrix power ``A^h``
+over the min-plus semiring of Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from .graph import INF, WeightedGraph
+
+
+def exact_apsp(graph: WeightedGraph) -> np.ndarray:
+    """Exact all-pairs distances via Dijkstra (numpy ``(n, n)`` array).
+
+    Unreachable pairs are ``inf``.  This is the evaluation oracle; it is not
+    part of the distributed algorithm.
+    """
+    n = graph.n
+    if graph.num_edges == 0:
+        out = np.full((n, n), INF)
+        np.fill_diagonal(out, 0.0)
+        return out
+    rows = graph.edge_u
+    cols = graph.edge_v
+    data = graph.edge_w
+    sparse = csr_matrix((data, (rows, cols)), shape=(n, n))
+    return dijkstra(sparse, directed=graph.directed, indices=None)
+
+
+def exact_sssp(graph: WeightedGraph, source: int) -> np.ndarray:
+    """Exact single-source distances from ``source``."""
+    n = graph.n
+    if graph.num_edges == 0:
+        out = np.full(n, INF)
+        out[source] = 0.0
+        return out
+    sparse = csr_matrix(
+        (graph.edge_w, (graph.edge_u, graph.edge_v)), shape=(n, n)
+    )
+    return dijkstra(sparse, directed=graph.directed, indices=source)
+
+
+def hop_limited_distances(
+    matrix: np.ndarray,
+    hops: int,
+    block: int = 64,
+) -> np.ndarray:
+    """Exact ``h``-hop distances: the min-plus power ``A^h``.
+
+    ``matrix`` must have a zero diagonal (so powers are monotone in ``h``:
+    ``A^h[u, v]`` is the minimum length over paths of *at most* ``h`` hops).
+    Computed by ``ceil(log2 h)`` min-plus squarings.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, n)`` min-plus adjacency matrix.
+    hops:
+        Hop bound ``h >= 1``.
+    block:
+        Row-block size for the blocked product (memory control).
+    """
+    if hops < 1:
+        raise ValueError("hop bound must be >= 1")
+    result = np.array(matrix, dtype=np.float64)
+    power = 1
+    while power < hops:
+        result = minplus_square(result, block=block)
+        power *= 2
+    return result
+
+
+def minplus_square(matrix: np.ndarray, block: int = 64) -> np.ndarray:
+    """One min-plus squaring ``A -> A (*) A`` (blocked for memory)."""
+    return minplus_product(matrix, matrix, block=block)
+
+
+def minplus_product(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Min-plus (tropical) matrix product ``(A * B)[i, j] = min_k A[i,k]+B[k,j]``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions must agree")
+    rows = a.shape[0]
+    cols = b.shape[1]
+    out = np.empty((rows, cols), dtype=np.float64)
+    for start in range(0, rows, block):
+        stop = min(start + block, rows)
+        # (block, k, 1) + (1, k, cols) -> min over k
+        chunk = a[start:stop, :, None] + b[None, :, :]
+        out[start:stop] = chunk.min(axis=1)
+    return out
+
+
+def weighted_diameter(graph: WeightedGraph) -> float:
+    """Maximum finite pairwise distance (inf if disconnected)."""
+    dist = exact_apsp(graph)
+    finite = dist[np.isfinite(dist)]
+    if finite.size < graph.n * graph.n:
+        return float(INF)
+    return float(dist.max())
+
+
+def weighted_diameter_from_matrix(dist: np.ndarray) -> float:
+    """Weighted diameter given a distance matrix (inf if disconnected)."""
+    if not np.all(np.isfinite(dist)):
+        return float(INF)
+    return float(dist.max())
+
+
+def hop_diameter(graph: WeightedGraph) -> int:
+    """Maximum over connected pairs of the minimum hop count between them."""
+    n = graph.n
+    unit = np.full((n, n), INF)
+    np.fill_diagonal(unit, 0.0)
+    if graph.num_edges:
+        np.minimum.at(unit, (graph.edge_u, graph.edge_v), 1.0)
+        if not graph.directed:
+            np.minimum.at(unit, (graph.edge_v, graph.edge_u), 1.0)
+    sparse = csr_matrix(
+        (np.ones(graph.num_edges), (graph.edge_u, graph.edge_v)), shape=(n, n)
+    )
+    hops = dijkstra(sparse, directed=graph.directed, unweighted=True)
+    finite = hops[np.isfinite(hops)]
+    return int(finite.max(initial=0))
+
+
+def is_connected(graph: WeightedGraph) -> bool:
+    """Whether every ordered pair is connected (strongly, if directed)."""
+    return bool(np.all(np.isfinite(exact_apsp(graph))))
+
+
+def shortest_path_hop_bound(
+    graph: WeightedGraph,
+    dist: Optional[np.ndarray] = None,
+    max_hops: Optional[int] = None,
+) -> np.ndarray:
+    """Minimum hops of a *shortest* (minimum-length) path, per pair.
+
+    ``out[u, v]`` is the smallest ``h`` with ``A^h[u, v] == d(u, v)``
+    (``inf`` for disconnected pairs).  Used to verify the hopset guarantee:
+    the hopset promises a ``beta``-hop shortest path in ``G ∪ H``.
+    """
+    matrix = graph.matrix()
+    n = graph.n
+    if dist is None:
+        dist = exact_apsp(graph)
+    limit = max_hops if max_hops is not None else n
+    hops = np.full((n, n), INF)
+    hops[np.isclose(matrix, dist) & np.isfinite(dist)] = 1.0
+    np.fill_diagonal(hops, 0.0)
+    current = np.array(matrix)
+    h = 1
+    while h < limit:
+        nxt = minplus_square(current)
+        h *= 2
+        newly = np.isclose(nxt, dist) & np.isfinite(dist) & ~np.isfinite(hops)
+        # Binary search would be tighter; doubling gives an upper bound
+        # within a factor 2, enough for bound checks.
+        hops[newly] = float(h)
+        current = nxt
+        if np.all(np.isfinite(hops[np.isfinite(dist)])):
+            break
+    return hops

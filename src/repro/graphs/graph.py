@@ -1,0 +1,264 @@
+"""Weighted graph container used throughout the reproduction.
+
+The paper's input is a simple weighted graph on ``n`` nodes with polynomially
+bounded positive integer weights (Section 2.1); zero weights are handled by
+the Theorem 2.1 reduction.  :class:`WeightedGraph` stores the edge list in
+numpy arrays and exposes the matrix views the algorithms need:
+
+* a dense weighted adjacency matrix over the min-plus semiring
+  (``np.inf`` = no edge, ``0`` on the diagonal), and
+* per-node sorted outgoing edge lists (for the "k shortest outgoing edges"
+  steps of Sections 4 and 5).
+
+Graphs may be directed (Sections 4 and 5 hold for directed graphs) or
+undirected (everything else).  Weights are kept as float64 for numpy
+compatibility, but construction validates integrality by default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+INF = np.inf
+
+
+class GraphError(ValueError):
+    """Invalid graph construction or query."""
+
+
+class WeightedGraph:
+    """A weighted graph on nodes ``0 .. n-1`` backed by numpy edge arrays.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v, w)`` triples.  For undirected graphs each edge
+        should appear once; both orientations are stored internally.
+    directed:
+        Whether the graph is directed.
+    require_positive:
+        Enforce strictly positive weights (the paper's standing assumption;
+        disable only for the zero-weight machinery of Theorem 2.1).
+    require_integer:
+        Enforce integral weights (Section 2.1).  Scaled graphs produced by
+        Lemma 8.1 remain integral; disable for experimentation only.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int, float]] = (),
+        directed: bool = False,
+        require_positive: bool = True,
+        require_integer: bool = True,
+    ) -> None:
+        if n < 1:
+            raise GraphError("graph needs at least one node")
+        self.n = int(n)
+        self.directed = bool(directed)
+        triples = list(edges)
+        if triples:
+            u = np.asarray([t[0] for t in triples], dtype=np.int64)
+            v = np.asarray([t[1] for t in triples], dtype=np.int64)
+            w = np.asarray([t[2] for t in triples], dtype=np.float64)
+        else:
+            u = np.zeros(0, dtype=np.int64)
+            v = np.zeros(0, dtype=np.int64)
+            w = np.zeros(0, dtype=np.float64)
+        self._validate(u, v, w, require_positive, require_integer)
+        # Deduplicate parallel edges keeping the minimum weight, and drop
+        # self-loops (they never shorten any path with nonnegative weights).
+        keep = u != v
+        u, v, w = u[keep], v[keep], w[keep]
+        if not self.directed and len(u):
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            u, v = lo, hi
+        if len(u):
+            order = np.lexsort((w, v, u))
+            u, v, w = u[order], v[order], w[order]
+            first = np.ones(len(u), dtype=bool)
+            first[1:] = (u[1:] != u[:-1]) | (v[1:] != v[:-1])
+            u, v, w = u[first], v[first], w[first]
+        self.edge_u = u
+        self.edge_v = v
+        self.edge_w = w
+        self._matrix_cache: Optional[np.ndarray] = None
+        self._adj_cache: Optional[List[List[Tuple[int, float]]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        directed: bool = False,
+        require_positive: bool = True,
+        require_integer: bool = True,
+    ) -> "WeightedGraph":
+        """Build a graph from a weighted adjacency matrix (inf = no edge)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise GraphError("adjacency matrix must be square")
+        n = matrix.shape[0]
+        rows, cols = np.nonzero(np.isfinite(matrix) & ~np.eye(n, dtype=bool))
+        if not directed:
+            keep = rows < cols
+            rows, cols = rows[keep], cols[keep]
+        edges = [(int(r), int(c), float(matrix[r, c])) for r, c in zip(rows, cols)]
+        return cls(
+            n,
+            edges,
+            directed=directed,
+            require_positive=require_positive,
+            require_integer=require_integer,
+        )
+
+    def _validate(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        require_positive: bool,
+        require_integer: bool,
+    ) -> None:
+        if len(u) == 0:
+            return
+        if u.min(initial=0) < 0 or v.min(initial=0) < 0:
+            raise GraphError("negative node id")
+        if u.max(initial=0) >= self.n or v.max(initial=0) >= self.n:
+            raise GraphError("node id out of range")
+        if not np.all(np.isfinite(w)):
+            raise GraphError("edge weights must be finite")
+        if require_positive and np.any(w <= 0):
+            raise GraphError(
+                "edge weights must be positive integers; use the Theorem 2.1 "
+                "reduction (repro.core.zero_weights) for zero weights"
+            )
+        if not require_positive and np.any(w < 0):
+            raise GraphError("negative edge weights are not supported")
+        if require_integer and np.any(w != np.floor(w)):
+            raise GraphError("edge weights must be integers (Section 2.1)")
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored edges (undirected edges counted once)."""
+        return len(self.edge_w)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(u, v, w)`` triples (one per undirected edge)."""
+        for u, v, w in zip(self.edge_u, self.edge_v, self.edge_w):
+            yield int(u), int(v), float(w)
+
+    def matrix(self) -> np.ndarray:
+        """Dense min-plus adjacency matrix: ``A[v, v] = 0``, inf = no edge.
+
+        The matrix is cached; callers must not mutate it (take a copy).
+        """
+        if self._matrix_cache is None:
+            mat = np.full((self.n, self.n), INF, dtype=np.float64)
+            np.fill_diagonal(mat, 0.0)
+            if len(self.edge_u):
+                np.minimum.at(mat, (self.edge_u, self.edge_v), self.edge_w)
+                if not self.directed:
+                    np.minimum.at(mat, (self.edge_v, self.edge_u), self.edge_w)
+            self._matrix_cache = mat
+        return self._matrix_cache
+
+    def adjacency(self) -> List[List[Tuple[int, float]]]:
+        """Outgoing adjacency lists sorted by (weight, neighbour id).
+
+        The sort order matches the paper's tie-breaking convention (smallest
+        weight first, then smallest ID), so ``adjacency()[u][:k]`` is exactly
+        the "k shortest outgoing edges of u" of Sections 4 and 5.
+        """
+        if self._adj_cache is None:
+            adj: List[List[Tuple[int, float]]] = [[] for _ in range(self.n)]
+            for u, v, w in zip(self.edge_u, self.edge_v, self.edge_w):
+                adj[int(u)].append((int(v), float(w)))
+                if not self.directed:
+                    adj[int(v)].append((int(u), float(w)))
+            for u in range(self.n):
+                adj[u].sort(key=lambda item: (item[1], item[0]))
+            self._adj_cache = adj
+        return self._adj_cache
+
+    def out_degree(self, u: int) -> int:
+        """Number of outgoing edges of ``u``."""
+        return len(self.adjacency()[u])
+
+    def k_shortest_out_edges(self, u: int, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` smallest-weight outgoing edges of ``u`` (ID tie-break)."""
+        return self.adjacency()[u][: max(0, int(k))]
+
+    def max_weight(self) -> float:
+        """Largest edge weight (0 for an empty graph)."""
+        return float(self.edge_w.max(initial=0.0))
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "WeightedGraph") -> "WeightedGraph":
+        """Union ``G ∪ H`` keeping minimum weights on parallel edges.
+
+        Used for augmenting the input with a hopset.  Directedness must
+        match.  Hopset edges may repeat graph edges; the dedup keeps the
+        lighter copy, which preserves all distances.
+        """
+        if other.n != self.n:
+            raise GraphError("union requires graphs on the same node set")
+        if other.directed != self.directed:
+            raise GraphError("union requires matching directedness")
+        edges = list(self.edges()) + list(other.edges())
+        return WeightedGraph(
+            self.n,
+            edges,
+            directed=self.directed,
+            require_positive=False,
+            require_integer=False,
+        )
+
+    def subgraph_edges(self, mask: np.ndarray) -> "WeightedGraph":
+        """Graph with only the edges selected by a boolean ``mask``."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.edge_w.shape:
+            raise GraphError("mask length must equal the number of edges")
+        edges = [
+            (int(u), int(v), float(w))
+            for u, v, w in zip(self.edge_u[mask], self.edge_v[mask], self.edge_w[mask])
+        ]
+        return WeightedGraph(
+            self.n,
+            edges,
+            directed=self.directed,
+            require_positive=False,
+            require_integer=False,
+        )
+
+    def scale_weights(self, factor: float) -> "WeightedGraph":
+        """Graph with every weight multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise GraphError("scale factor must be positive")
+        edges = [(u, v, w * factor) for u, v, w in self.edges()]
+        return WeightedGraph(
+            self.n,
+            edges,
+            directed=self.directed,
+            require_positive=False,
+            require_integer=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected"
+        return f"WeightedGraph(n={self.n}, m={self.num_edges}, {kind})"

@@ -1,0 +1,106 @@
+"""Validation helpers for distance estimates and approximation guarantees.
+
+Every algorithm in the paper outputs a distance estimate ``delta`` promising
+``d(u, v) <= delta(u, v) <= alpha * d(u, v)``.  These helpers check that
+contract against ground truth and report where it fails, so tests and
+benchmarks share one definition of "stretch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ApproximationReport:
+    """Summary of an estimate's quality against exact distances."""
+
+    max_stretch: float
+    mean_stretch: float
+    median_stretch: float
+    underestimates: int
+    pairs_checked: int
+
+    @property
+    def sound(self) -> bool:
+        """True when no pair is underestimated (the lower-bound contract)."""
+        return self.underestimates == 0
+
+
+def check_estimate(
+    exact: np.ndarray,
+    estimate: np.ndarray,
+    rtol: float = 1e-9,
+) -> ApproximationReport:
+    """Compare an APSP estimate with exact distances.
+
+    Only finite, off-diagonal pairs are assessed.  ``underestimates`` counts
+    pairs with ``estimate < exact`` beyond tolerance — the paper's contract
+    forbids any.
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if exact.shape != estimate.shape:
+        raise ValueError("shape mismatch between exact and estimate")
+    n = exact.shape[0]
+    off_diag = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(exact) & off_diag
+    if not np.any(finite):
+        return ApproximationReport(1.0, 1.0, 1.0, 0, 0)
+    d = exact[finite]
+    e = estimate[finite]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stretch = np.where(d > 0, e / d, np.where(e > 0, np.inf, 1.0))
+    under = int(np.sum(e < d * (1.0 - rtol)))
+    finite_stretch = stretch[np.isfinite(stretch)]
+    if finite_stretch.size == 0:
+        return ApproximationReport(np.inf, np.inf, np.inf, under, int(d.size))
+    return ApproximationReport(
+        max_stretch=float(np.max(stretch)),
+        mean_stretch=float(np.mean(finite_stretch)),
+        median_stretch=float(np.median(finite_stretch)),
+        underestimates=under,
+        pairs_checked=int(d.size),
+    )
+
+
+def assert_valid_approximation(
+    exact: np.ndarray,
+    estimate: np.ndarray,
+    alpha: float,
+    rtol: float = 1e-9,
+) -> ApproximationReport:
+    """Raise ``AssertionError`` unless ``estimate`` is an alpha-approximation."""
+    report = check_estimate(exact, estimate, rtol=rtol)
+    if not report.sound:
+        raise AssertionError(
+            f"estimate underestimates {report.underestimates} of "
+            f"{report.pairs_checked} pairs"
+        )
+    if report.max_stretch > alpha * (1.0 + rtol):
+        raise AssertionError(
+            f"max stretch {report.max_stretch:.4f} exceeds the "
+            f"promised factor {alpha:.4f}"
+        )
+    return report
+
+
+def is_symmetric(matrix: np.ndarray, rtol: float = 1e-9) -> bool:
+    """Whether a (possibly inf-valued) matrix is symmetric."""
+    matrix = np.asarray(matrix)
+    a, b = matrix, matrix.T
+    both_inf = np.isinf(a) & np.isinf(b)
+    return bool(np.all(both_inf | np.isclose(a, b, rtol=rtol)))
+
+
+def symmetrize_min(matrix: np.ndarray) -> np.ndarray:
+    """Entrywise minimum of a matrix and its transpose.
+
+    Distance estimates on undirected graphs may be produced asymmetrically
+    (Section 4's local computations); taking the minimum preserves the
+    lower-bound contract and can only improve the stretch.
+    """
+    return np.minimum(matrix, matrix.T)

@@ -1,0 +1,13 @@
+"""MST substrate (Borůvka engine for the Theorem 2.1 reduction)."""
+
+from .boruvka import (
+    DisjointSets,
+    connected_components_zero_subgraph,
+    minimum_spanning_forest,
+)
+
+__all__ = [
+    "DisjointSets",
+    "connected_components_zero_subgraph",
+    "minimum_spanning_forest",
+]

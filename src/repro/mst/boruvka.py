@@ -1,0 +1,108 @@
+"""Minimum spanning forest via Borůvka (for the Theorem 2.1 reduction).
+
+Appendix A computes the connected components of the zero-weight subgraph by
+building an MST with the O(1)-round deterministic algorithm of [Now21] and
+letting every node filter it locally.  We implement Borůvka — the same
+output object — and charge the [Now21] constant on the ledger at the call
+site (see :mod:`repro.core.zero_weights`).
+
+Ties between equal-weight edges are broken by the edge's (weight, u, v)
+triple, which keeps the algorithm deterministic and cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.graph import WeightedGraph
+
+
+class DisjointSets:
+    """Union-find with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def minimum_spanning_forest(graph: WeightedGraph) -> List[Tuple[int, int, float]]:
+    """Borůvka's algorithm; returns MSF edges as ``(u, v, w)`` triples.
+
+    Works on disconnected graphs (returns a forest).  Deterministic under
+    the (weight, u, v) tie-break.
+    """
+    if graph.directed:
+        raise ValueError("MST is defined for undirected graphs")
+    n = graph.n
+    sets = DisjointSets(n)
+    forest: List[Tuple[int, int, float]] = []
+    edges = sorted(graph.edges(), key=lambda e: (e[2], e[0], e[1]))
+    components = n
+    while components > 1:
+        # cheapest outgoing edge per component (by the deterministic order).
+        cheapest: dict = {}
+        for u, v, w in edges:
+            ru, rv = sets.find(u), sets.find(v)
+            if ru == rv:
+                continue
+            key = (w, u, v)
+            if ru not in cheapest or key < cheapest[ru][0]:
+                cheapest[ru] = (key, (u, v, w))
+            if rv not in cheapest or key < cheapest[rv][0]:
+                cheapest[rv] = (key, (u, v, w))
+        if not cheapest:
+            break  # remaining components are disconnected
+        merged_any = False
+        for _, (u, v, w) in sorted(cheapest.values()):
+            if sets.union(u, v):
+                forest.append((u, v, w))
+                components -= 1
+                merged_any = True
+        if not merged_any:  # pragma: no cover - defensive
+            break
+    return forest
+
+
+def connected_components_zero_subgraph(graph: WeightedGraph) -> np.ndarray:
+    """Component labels of the zero-weight subgraph, via the MSF.
+
+    Implements Appendix A, Step 1: build the spanning forest, keep only its
+    zero-weight edges, and label components.  The leader (Step 2) is the
+    smallest node ID in each component; labels returned ARE those leaders.
+    """
+    n = graph.n
+    forest = minimum_spanning_forest(graph)
+    sets = DisjointSets(n)
+    for u, v, w in forest:
+        if w == 0:
+            sets.union(u, v)
+    leader = np.arange(n, dtype=np.int64)
+    for v in range(n):
+        root = sets.find(v)
+        leader[v] = root
+    # Re-label every component by its minimum member ID (the paper's leader
+    # rule), not by the union-find root.
+    minimum = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    for v in range(n):
+        root = leader[v]
+        minimum[root] = min(minimum[root], v)
+    return minimum[leader]

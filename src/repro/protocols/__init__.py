@@ -1,0 +1,52 @@
+"""Message-level distributed protocols on the Congested Clique simulator.
+
+These are the executable counterparts of the ledger-charged steps in
+:mod:`repro.core`: the same algorithms, written as real communication
+schedules and cross-validated against the global-state implementations
+(tests assert bit-identical outputs).  They demonstrate that the round
+charges in the cost model correspond to schedules that genuinely exist.
+"""
+
+from .aggregation import (
+    elect_leader,
+    global_min,
+    global_reduce,
+    global_sum,
+    share_flags,
+)
+from .bellman_ford import BellmanFordProgram, BellmanFordRun, run_distributed_bellman_ford
+from .hopset_protocol import HopsetProtocolResult, run_hopset_protocol
+from .knearest_protocol import (
+    BinExchangeResult,
+    BroadcastKNearestResult,
+    global_edge_list,
+    run_bin_exchange,
+    run_knearest_broadcast_protocol,
+)
+from .skeleton_protocol import SkeletonXYResult, run_skeleton_xy_protocol
+from .zero_weight_protocol import (
+    ZeroWeightProtocolResult,
+    run_zero_weight_protocol,
+)
+
+__all__ = [
+    "SkeletonXYResult",
+    "run_skeleton_xy_protocol",
+    "ZeroWeightProtocolResult",
+    "run_zero_weight_protocol",
+    "BellmanFordProgram",
+    "BellmanFordRun",
+    "BinExchangeResult",
+    "BroadcastKNearestResult",
+    "HopsetProtocolResult",
+    "elect_leader",
+    "global_edge_list",
+    "global_min",
+    "global_reduce",
+    "global_sum",
+    "run_bin_exchange",
+    "run_distributed_bellman_ford",
+    "run_hopset_protocol",
+    "run_knearest_broadcast_protocol",
+    "share_flags",
+]

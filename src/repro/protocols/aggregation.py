@@ -1,0 +1,116 @@
+"""Basic distributed aggregation protocols on the message-level simulator.
+
+Small synchronous building blocks the paper takes for granted — leader
+election, global min/sum, convergecast — implemented as real message
+schedules on :class:`~repro.cclique.model.SimulatedClique` and used by the
+message-level protocol implementations in this package.
+
+All of them are single-round or two-round in the clique (every node can
+talk to every node directly), which is exactly why the paper never spells
+them out; having them executable lets the higher protocols be written
+without hand-waving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..cclique.message import Message
+from ..cclique.model import SimulatedClique
+
+
+def elect_leader(clique: SimulatedClique, ids: Optional[Sequence[int]] = None) -> Tuple[int, int]:
+    """Elect the smallest-ID node; one round of everyone -> node 0 -> everyone.
+
+    In the clique the canonical leader is node 0 by renaming (Section 2),
+    but the protocol is still exchanged so the round cost is real: every
+    node announces its ID to node 0 (1 round), node 0 broadcasts the
+    winner (1 round).  Returns ``(leader, rounds)``.
+    """
+    n = clique.n
+    candidate_ids = list(ids) if ids is not None else list(range(n))
+    if len(candidate_ids) != n:
+        raise ValueError("need one candidate ID per node")
+    for node in range(n):
+        clique.send(Message(node, 0, (candidate_ids[node],), tag="elect"))
+    clique.step()
+    announced = min(
+        int(m.payload[0]) for m in clique.inbox(0) if m.tag == "elect"
+    )
+    for node in range(n):
+        clique.send(Message(0, node, (announced,), tag="leader"))
+    clique.step()
+    winners = set()
+    for node in range(n):
+        for m in clique.inbox(node):
+            if m.tag == "leader":
+                winners.add(int(m.payload[0]))
+    if winners != {announced}:  # pragma: no cover - simulator invariant
+        raise RuntimeError("leader announcement diverged")
+    return announced, 2
+
+
+def global_reduce(
+    clique: SimulatedClique,
+    values: Sequence[float],
+    combine: Callable[[float, float], float],
+    initial: float,
+) -> Tuple[float, int]:
+    """Reduce one value per node at node 0, then broadcast; two rounds.
+
+    ``combine`` must be associative and commutative (min, max, +, ...).
+    Returns ``(result, rounds)``; every node learns the result.
+    """
+    n = clique.n
+    if len(values) != n:
+        raise ValueError("need one value per node")
+    for node in range(n):
+        clique.send(Message(node, 0, (values[node],), tag="reduce"))
+    clique.step()
+    accumulator = initial
+    for m in clique.inbox(0):
+        if m.tag == "reduce":
+            accumulator = combine(accumulator, float(m.payload[0]))
+    for node in range(n):
+        clique.send(Message(0, node, (accumulator,), tag="reduced"))
+    clique.step()
+    for node in range(n):
+        clique.inbox(node)  # drain
+    return accumulator, 2
+
+
+def global_min(clique: SimulatedClique, values: Sequence[float]) -> Tuple[float, int]:
+    """Global minimum of one value per node (two rounds)."""
+    return global_reduce(clique, values, min, float("inf"))
+
+
+def global_sum(clique: SimulatedClique, values: Sequence[float]) -> Tuple[float, int]:
+    """Global sum of one value per node (two rounds)."""
+    return global_reduce(clique, values, lambda a, b: a + b, 0.0)
+
+
+def share_flags(clique: SimulatedClique, flags: Sequence[bool]) -> Tuple[List[bool], int]:
+    """Everyone learns everyone's one-bit flag in a single round.
+
+    The primitive behind the hitting-set repetitions of Lemma 6.2 ("each
+    repetition uses only O(1) bits of communication between each pair").
+    """
+    n = clique.n
+    if len(flags) != n:
+        raise ValueError("need one flag per node")
+    for u in range(n):
+        for v in range(n):
+            clique.send(Message(u, v, (1 if flags[u] else 0,), tag="flag"))
+    clique.step()
+    table: List[bool] = [False] * n
+    reference: Optional[List[bool]] = None
+    for v in range(n):
+        local = [False] * n
+        for m in clique.inbox(v):
+            if m.tag == "flag":
+                local[m.sender] = bool(m.payload[0])
+        if reference is None:
+            reference = local
+        table = local
+    assert reference is not None
+    return reference, 1

@@ -1,0 +1,109 @@
+"""A complete distributed APSP protocol: synchronous Bellman-Ford gossip.
+
+Not part of the paper's algorithm — it is the *contrast*: the naive
+distributed APSP whose round complexity grows with the hop diameter and
+per-node state churn, against which the paper's O(1)-round building
+blocks are measured.  Written as a :class:`~repro.cclique.model.
+NodeProgram` so it runs bit-for-bit on the message-level simulator, and
+used by tests and the ``message_level_simulation`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..cclique.model import NodeProgram, SimulatedClique
+from ..graphs.graph import WeightedGraph
+
+
+class BellmanFordProgram(NodeProgram):
+    """Relax on everything heard; gossip changed estimates to neighbours.
+
+    Each round a node ships up to ``batch`` changed ``(target, distance)``
+    pairs to every neighbour in one message; the clique must be created
+    with ``bandwidth_words >= 2 * batch``.  Nodes halt at a fixed horizon
+    of ``horizon_factor * n`` rounds, which suffices for convergence on
+    the graph sizes the simulator is meant for (tests verify exactness).
+    """
+
+    def __init__(
+        self,
+        weights: Dict[int, float],
+        n: int,
+        batch: int = 8,
+        horizon_factor: int = 2,
+    ) -> None:
+        super().__init__()
+        self.weights = dict(weights)
+        self.dist: Dict[int, float] = {}
+        self.pending: List[Tuple[int, float]] = []
+        self.batch = int(batch)
+        self.horizon = max(2, horizon_factor * n)
+        self.rounds_seen = 0
+
+    def on_round(self, inbox):
+        if not self.dist:
+            self.dist = {self.node_id: 0.0}
+            self.pending = [(self.node_id, 0.0)]
+        for message in inbox:
+            weight = self.weights.get(message.sender)
+            if weight is None:
+                continue
+            pairs = message.payload
+            for index in range(0, len(pairs), 2):
+                target = int(pairs[index])
+                through = float(pairs[index + 1])
+                candidate = through + weight
+                if candidate < self.dist.get(target, float("inf")):
+                    self.dist[target] = candidate
+                    self.pending.append((target, candidate))
+        out = []
+        if self.pending:
+            shipped = self.pending[: self.batch]
+            self.pending = self.pending[self.batch :]
+            payload = tuple(x for pair in shipped for x in pair)
+            out = [
+                self.msg(neighbour, *payload, tag="bf")
+                for neighbour in self.weights
+            ]
+        self.rounds_seen += 1
+        if self.rounds_seen >= self.horizon:
+            self.halt()
+        return out
+
+
+@dataclass
+class BellmanFordRun:
+    """Result of a full distributed Bellman-Ford execution."""
+
+    estimate: np.ndarray
+    rounds: int
+
+
+def run_distributed_bellman_ford(
+    graph: WeightedGraph,
+    batch: int = 8,
+    horizon_factor: int = 2,
+) -> BellmanFordRun:
+    """Run the gossip protocol on the simulator; return the APSP matrix."""
+    if graph.directed:
+        raise ValueError("the gossip protocol assumes undirected edges")
+    n = graph.n
+    clique = SimulatedClique(n, bandwidth_words=2 * batch, strict=False)
+    adjacency = graph.adjacency()
+    programs = [
+        BellmanFordProgram(
+            {v: w for v, w in adjacency[u]}, n, batch=batch,
+            horizon_factor=horizon_factor,
+        )
+        for u in range(n)
+    ]
+    rounds = clique.run(programs, max_rounds=100 * n + 100)
+    estimate = np.full((n, n), np.inf)
+    for u, program in enumerate(programs):
+        for target, value in program.dist.items():
+            estimate[u, target] = value
+    return BellmanFordRun(estimate=estimate, rounds=rounds)

@@ -1,0 +1,176 @@
+"""Message-level k-nearest protocols (Section 5).
+
+Two executable schedules:
+
+* :func:`run_knearest_broadcast_protocol` — the trivial regime of
+  Section 5.2 (``k ∈ O(1)``): every node broadcasts its k shortest
+  outgoing edges with the Section 2.3 two-round trick, then computes the
+  filtered h-hop distances locally.  Output is asserted identical to
+  :func:`repro.core.knearest.knearest_one_round`.
+
+* :func:`run_bin_exchange` — the non-trivial regime's *communication
+  pattern*: the global edge list is split into bins, h-combinations are
+  assigned to nodes, and the bin contents are routed so that the assigned
+  node of every combination holds exactly its bins (Step 3 of the
+  algorithm).  The function returns the per-node received edge sets plus
+  the measured routing rounds, and the tests verify the coverage claim of
+  Lemma 5.4: every h-edge path of the filtered graph is fully contained
+  in the bins of some h-combination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cclique.message import Message
+from ..cclique.model import SimulatedClique
+from ..cclique.routing import RoutingStats, route_two_phase
+from ..core.knearest import BinPlan, KNearestResult, make_bin_plan
+from ..graphs.graph import WeightedGraph
+from ..semiring.minplus import (
+    hop_power_row_sparse,
+    k_smallest_in_rows,
+    row_sparse_from_dense,
+)
+
+
+@dataclass
+class BroadcastKNearestResult:
+    """Outcome of the trivial-regime protocol."""
+
+    result: KNearestResult
+    rounds: int
+
+
+def run_knearest_broadcast_protocol(
+    graph: WeightedGraph,
+    k: int,
+    h: int,
+) -> BroadcastKNearestResult:
+    """The ``k ∈ O(1)`` fallback: broadcast everyone's k-edge list.
+
+    Every node publishes its k shortest outgoing edges; each edge is one
+    3-word message to each other node, batched through the simulator in
+    ``k`` rounds (one edge per ordered pair per round).  Each node then
+    computes the filtered h-hop distances locally — the same local
+    computation the bin-combination nodes perform in the general regime.
+    """
+    n = graph.n
+    clique = SimulatedClique(n, bandwidth_words=3, strict=False)
+    lists = [graph.k_shortest_out_edges(u, k) for u in range(n)]
+    for u in range(n):
+        for endpoint, weight in lists[u]:
+            for v in range(n):
+                if v != u:
+                    clique.send(
+                        Message(u, v, (u, endpoint, weight), tag="knn:edge")
+                    )
+    rounds = clique.drain()
+
+    # Every node now holds the full filtered edge set; reconstruct it once
+    # (all nodes hold identical copies) and compute the filtered power.
+    matrix = np.full((n, n), np.inf)
+    np.fill_diagonal(matrix, 0.0)
+    seen: Set[Tuple[int, int]] = set()
+    for v in range(n):
+        for message in clique.inbox(v):
+            if message.tag != "knn:edge":
+                continue
+            source, endpoint, weight = message.payload
+            matrix[int(source), int(endpoint)] = min(
+                matrix[int(source), int(endpoint)], float(weight)
+            )
+            seen.add((int(source), int(endpoint)))
+    # own edges (a node obviously knows its own list without messages)
+    for u in range(n):
+        for endpoint, weight in lists[u]:
+            matrix[u, endpoint] = min(matrix[u, endpoint], weight)
+    sparse = row_sparse_from_dense(matrix, k)
+    powered = hop_power_row_sparse(sparse, h)
+    indices, values = k_smallest_in_rows(powered, k)
+    result = KNearestResult(indices=indices, values=values, k=k, h=h, iterations=1)
+    return BroadcastKNearestResult(result=result, rounds=rounds)
+
+
+@dataclass
+class BinExchangeResult:
+    """Outcome of the Step 2/3 bin distribution."""
+
+    plan: BinPlan
+    assignments: List[Tuple[int, ...]]
+    received: Dict[int, List[Tuple[int, int, float]]]
+    stats: RoutingStats
+
+
+def global_edge_list(graph: WeightedGraph, k: int) -> List[Tuple[int, int, float]]:
+    """The ordered list ``M = M(0) ◦ M(1) ◦ ... ◦ M(n-1)`` of Section 5.2.
+
+    Each node contributes exactly ``k`` entries; nodes with fewer than
+    ``k`` outgoing edges pad with self-loop sentinels of infinite weight,
+    keeping every local list the same length (the algorithm's positional
+    arithmetic depends on it).
+    """
+    entries: List[Tuple[int, int, float]] = []
+    for u in range(graph.n):
+        local = graph.k_shortest_out_edges(u, k)
+        for endpoint, weight in local:
+            entries.append((u, int(endpoint), float(weight)))
+        for _ in range(k - len(local)):
+            entries.append((u, u, math.inf))
+    return entries
+
+
+def run_bin_exchange(graph: WeightedGraph, k: int, h: int) -> BinExchangeResult:
+    """Distribute bins to h-combination owners (Steps 2-3 of Section 5.2).
+
+    Every h-combination is assigned to a distinct node (the paper proves
+    ``h·C(p,h) <= n``); the owner of combination ``j`` receives all edges
+    in each of its bins, shipped through the two-phase router.  Returns
+    who received what, so correctness properties (bin coverage, load
+    bounds) can be asserted at the message level.
+    """
+    n = graph.n
+    plan = make_bin_plan(n, k, h)
+    if plan.trivial:
+        raise ValueError(
+            "trivial bin plan: use run_knearest_broadcast_protocol instead"
+        )
+    edges = global_edge_list(graph, k)
+    assignments = plan.assignments()
+    if len(assignments) > n:  # pragma: no cover - excluded by the counting claim
+        raise RuntimeError("more combinations than nodes")
+
+    messages: List[Message] = []
+    for owner, combination in enumerate(assignments):
+        for bin_index in combination:
+            start = bin_index * plan.bin_size
+            stop = min(len(edges), start + plan.bin_size)
+            for position in range(start, stop):
+                source, endpoint, weight = edges[position]
+                if not math.isfinite(weight):
+                    continue  # padding sentinel: nothing to ship
+                messages.append(
+                    Message(
+                        source,
+                        owner,
+                        (source, endpoint, weight, bin_index),
+                        tag="bins",
+                    )
+                )
+    # payload is 4 words + 1 relay word: still O(log n) bits per message.
+    delivered, stats = route_two_phase(messages, n, bandwidth_words=6)
+    received: Dict[int, List[Tuple[int, int, float]]] = {}
+    for owner in range(len(assignments)):
+        rows = []
+        for message in delivered.get(owner, []):
+            if message.tag == "bins":
+                source, endpoint, weight, _ = message.payload
+                rows.append((int(source), int(endpoint), float(weight)))
+        received[owner] = rows
+    return BinExchangeResult(
+        plan=plan, assignments=assignments, received=received, stats=stats
+    )

@@ -1,0 +1,116 @@
+"""Message-level implementation of the Appendix A zero-weight reduction.
+
+Theorem 2.1's supporting algorithm, as an actual communication schedule:
+
+1. the minimum spanning forest is computed (here: Borůvka, charged O(1)
+   per [Now21]) and **broadcast** — [Now21] guarantees every node learns
+   the whole MST, which we realise with the Section 2.3 broadcast trick,
+   ``ceil((n-1)/n)`` batches of 3-word edge records;
+2. every node locally filters the zero-weight forest edges and labels the
+   zero-components (leaders = smallest member IDs);
+3. every node sends, to each leader ``t``, the pair ``(s, w)`` — its own
+   leader and its lightest edge into ``t``'s component (one message per
+   (node, leader) pair, as in the appendix);
+4. leaders take minima: the compressed graph's edge weights.
+
+Tests assert the compressed graph equals the global implementation's
+(:func:`repro.core.zero_weights.compress_zero_components`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..cclique.message import Message
+from ..cclique.model import SimulatedClique
+from ..cclique.routing import RoutingStats, route_two_phase
+from ..graphs.graph import WeightedGraph
+from ..mst.boruvka import DisjointSets, minimum_spanning_forest
+
+
+@dataclass
+class ZeroWeightProtocolResult:
+    """Outcome of the message-level Appendix A reduction."""
+
+    leader: np.ndarray
+    leaders: np.ndarray
+    compressed: WeightedGraph
+    broadcast_rounds: int
+    exchange_stats: RoutingStats
+
+
+def run_zero_weight_protocol(graph: WeightedGraph) -> ZeroWeightProtocolResult:
+    """Execute Appendix A steps 1-3 as messages; return the compressed graph."""
+    if graph.directed:
+        raise ValueError("the zero-weight reduction is for undirected graphs")
+    n = graph.n
+
+    # Step 1: MSF + broadcast.  Each edge record is 3 words; the forest has
+    # at most n-1 edges, so one batch of the 2-round broadcast trick per
+    # ceil(3 (n-1) / n) = 3 words-per-slot... conservatively we ship one
+    # edge per slot (n slots per batch).
+    forest = minimum_spanning_forest(graph)
+    batches = max(1, math.ceil(len(forest) / max(1, n)))
+    broadcast_rounds = 2 * batches
+
+    # Step 2 (local, identical at every node): zero components + leaders.
+    sets = DisjointSets(n)
+    for u, v, w in forest:
+        if w == 0:
+            sets.union(u, v)
+    roots = np.array([sets.find(v) for v in range(n)], dtype=np.int64)
+    minimum = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    for v in range(n):
+        minimum[roots[v]] = min(minimum[roots[v]], v)
+    leader = minimum[roots]
+    leaders = np.unique(leader)
+    compact = {int(s): index for index, s in enumerate(leaders)}
+
+    # Step 3: each node v sends (own leader, lightest edge weight into
+    # C(t)) to every leader t it has an edge into.
+    lightest: Dict[Tuple[int, int], float] = {}
+    for u, v, w in graph.edges():
+        lu, lv = int(leader[u]), int(leader[v])
+        if lu == lv:
+            continue
+        for sender, target_leader, source_leader in (
+            (u, lv, lu),
+            (v, lu, lv),
+        ):
+            key = (sender, target_leader)
+            if key not in lightest or w < lightest[key]:
+                lightest[key] = w
+    messages = [
+        Message(sender, target_leader, (int(leader[sender]), weight), tag="zw")
+        for (sender, target_leader), weight in lightest.items()
+    ]
+    delivered, stats = route_two_phase(messages, n)
+
+    # Step 4 (at the leaders): minima per source component.
+    best: Dict[Tuple[int, int], float] = {}
+    for target_leader in leaders:
+        for message in delivered.get(int(target_leader), []):
+            if message.tag != "zw":
+                continue
+            source_leader, weight = int(message.payload[0]), float(message.payload[1])
+            a, b = sorted((compact[source_leader], compact[int(target_leader)]))
+            key = (a, b)
+            if key not in best or weight < best[key]:
+                best[key] = weight
+    compressed = WeightedGraph(
+        max(1, len(leaders)),
+        [(a, b, w) for (a, b), w in sorted(best.items())],
+        require_positive=True,
+        require_integer=True,
+    )
+    return ZeroWeightProtocolResult(
+        leader=leader,
+        leaders=leaders,
+        compressed=compressed,
+        broadcast_rounds=broadcast_rounds,
+        exchange_stats=stats,
+    )

@@ -1,0 +1,32 @@
+"""Tropical (min-plus) semiring algebra, dense and density-priced sparse."""
+
+from .minplus import (
+    INF,
+    RowSparse,
+    filter_rows,
+    filtered_hop_power,
+    hop_power_row_sparse,
+    k_smallest_in_rows,
+    minplus,
+    minplus_power,
+    row_sparse_from_dense,
+    rows_agree_on_k_smallest,
+)
+from .sparse import SparseProductResult, density, embed, sparse_minplus
+
+__all__ = [
+    "INF",
+    "RowSparse",
+    "SparseProductResult",
+    "density",
+    "embed",
+    "filter_rows",
+    "filtered_hop_power",
+    "hop_power_row_sparse",
+    "k_smallest_in_rows",
+    "minplus",
+    "minplus_power",
+    "row_sparse_from_dense",
+    "rows_agree_on_k_smallest",
+    "sparse_minplus",
+]

@@ -1,0 +1,226 @@
+"""Min-plus (tropical) semiring matrix algebra.
+
+Section 2.1 frames APSP as exponentiation over the tropical semiring
+``R = (Z>=0 ∪ {inf}, min, +)``; Section 5 computes *filtered* powers where
+each row keeps only its ``k`` smallest entries (ties broken by node ID).
+This module provides:
+
+* dense min-plus products and powers (blocked for memory),
+* row filtering with the paper's exact tie-breaking rule,
+* a row-sparse representation (``(n, k)`` index/value arrays) and the
+  hop-bounded power over it — the local computation performed by the node
+  assigned an h-combination in the Section 5 algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+INF = np.inf
+
+
+def minplus(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Dense min-plus product ``(A * B)[i, j] = min_k (A[i,k] + B[k,j])``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions must agree")
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.float64)
+    for start in range(0, a.shape[0], block):
+        stop = min(start + block, a.shape[0])
+        out[start:stop] = (a[start:stop, :, None] + b[None, :, :]).min(axis=1)
+    return out
+
+
+def minplus_power(matrix: np.ndarray, exponent: int, block: int = 64) -> np.ndarray:
+    """Exact min-plus power ``A^h`` by binary exponentiation.
+
+    Requires a zero diagonal so that ``A^h`` equals "minimum length over
+    paths with at most h hops" (Section 2.1).  Square-and-multiply makes
+    the exponent exact for every ``h`` (plain repeated squaring would
+    overshoot to the next power of two).
+    """
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if np.any(np.diag(matrix) != 0):
+        raise ValueError("matrix must have a zero diagonal")
+    accumulator: Optional[np.ndarray] = None
+    base = np.array(matrix)
+    remaining = int(exponent)
+    while remaining > 0:
+        if remaining & 1:
+            accumulator = (
+                np.array(base)
+                if accumulator is None
+                else minplus(accumulator, base, block=block)
+            )
+        remaining >>= 1
+        if remaining:
+            base = minplus(base, base, block=block)
+    assert accumulator is not None
+    return accumulator
+
+
+def k_smallest_in_rows(matrix: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the ``k`` smallest entries per row.
+
+    Ties are broken by column index (= node ID), matching the paper's
+    convention ("breaking ties by node IDs").  Rows with fewer than ``k``
+    finite entries are padded with ``(-1, inf)``.
+
+    Returns
+    -------
+    (indices, values):
+        Both of shape ``(n, k)``; ``indices`` is int64, padded with -1.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n_rows, n_cols = matrix.shape
+    k = int(k)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k_eff = min(k, n_cols)
+    # argsort is stable for kind="stable": equal values keep ascending
+    # column order, which is exactly the ID tie-break.
+    order = np.argsort(matrix, axis=1, kind="stable")[:, :k_eff]
+    values = np.take_along_axis(matrix, order, axis=1)
+    indices = order.astype(np.int64)
+    indices[~np.isfinite(values)] = -1
+    values = np.where(np.isfinite(values), values, INF)
+    if k_eff < k:
+        pad_idx = np.full((n_rows, k - k_eff), -1, dtype=np.int64)
+        pad_val = np.full((n_rows, k - k_eff), INF)
+        indices = np.concatenate([indices, pad_idx], axis=1)
+        values = np.concatenate([values, pad_val], axis=1)
+    return indices, values
+
+
+def filter_rows(matrix: np.ndarray, k: int) -> np.ndarray:
+    """The filtered matrix ``Ā``: keep the k smallest entries per row.
+
+    All other entries are set to ``inf`` (Section 5.4).  The diagonal is
+    *not* treated specially: with a zero diagonal it always survives the
+    filter (0 is minimal and self-ID ties are irrelevant).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    indices, values = k_smallest_in_rows(matrix, k)
+    out = np.full_like(matrix, INF)
+    rows = np.repeat(np.arange(matrix.shape[0]), indices.shape[1])
+    cols = indices.ravel()
+    vals = values.ravel()
+    keep = cols >= 0
+    out[rows[keep], cols[keep]] = vals[keep]
+    return out
+
+
+@dataclass
+class RowSparse:
+    """Row-sparse matrix: each row holds at most ``k`` finite entries.
+
+    ``indices[i, j] = -1`` marks a padding slot (value ``inf``).  This is the
+    object a node actually stores in the Section 5 algorithm: its local list
+    ``M(u)`` of k outgoing edges.
+    """
+
+    indices: np.ndarray  # (n, k) int64, -1 = empty
+    values: np.ndarray  # (n, k) float64, inf on empty slots
+    n_cols: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.indices.shape[1]
+
+    def density(self) -> float:
+        """Average finite entries per row (the rho of [CDKL21])."""
+        return float(np.isfinite(self.values).sum() / max(1, self.n_rows))
+
+    def to_dense(self) -> np.ndarray:
+        """Dense matrix with inf in unfilled slots."""
+        out = np.full((self.n_rows, self.n_cols), INF)
+        rows = np.repeat(np.arange(self.n_rows), self.k)
+        cols = self.indices.ravel()
+        vals = self.values.ravel()
+        keep = cols >= 0
+        np.minimum.at(out, (rows[keep], cols[keep]), vals[keep])
+        return out
+
+
+def row_sparse_from_dense(matrix: np.ndarray, k: int) -> RowSparse:
+    """Filter a dense matrix into its k-smallest-per-row sparse form."""
+    indices, values = k_smallest_in_rows(matrix, k)
+    return RowSparse(indices=indices, values=values, n_cols=matrix.shape[1])
+
+
+def hop_power_row_sparse(
+    sparse: RowSparse,
+    hops: int,
+    include_zero_diagonal: bool = True,
+) -> np.ndarray:
+    """Exact ``h``-hop distances in the filtered graph: ``Ā^h`` (dense).
+
+    Bellman-Ford over the row-sparse structure: ``h`` rounds of
+    ``D[u, :] <- min(D[u, :], min_j (w(u, nbr_j) + D[nbr_j, :]))``.
+    With a zero diagonal, the result after ``h`` rounds is the minimum
+    length over paths with at most ``h`` edges of ``Ā``.
+
+    Complexity is ``O(h * n * k * n)`` numpy element-ops; for the paper's
+    parameter regimes (``k ∈ O(n^{1/h})``) this is far below a dense power.
+    """
+    if hops < 1:
+        raise ValueError("hop bound must be >= 1")
+    n = sparse.n_rows
+    if sparse.n_cols != n:
+        raise ValueError("hop power requires a square matrix")
+    dist = sparse.to_dense()
+    if include_zero_diagonal:
+        np.fill_diagonal(dist, 0.0)
+    # Replace -1 padding with self-loops of weight inf (harmless).
+    nbr = np.where(sparse.indices >= 0, sparse.indices, np.arange(n)[:, None])
+    wgt = np.where(sparse.indices >= 0, sparse.values, INF)
+    current = dist
+    for _ in range(hops - 1):
+        # candidate[u, j, v] = w(u, nbr_j) + current[nbr_j, v]
+        candidate = (wgt[:, :, None] + current[nbr, :]).min(axis=1)
+        updated = np.minimum(current, candidate)
+        if np.array_equal(updated, current):
+            break
+        current = updated
+    return current
+
+
+def filtered_hop_power(matrix: np.ndarray, hops: int, k: int) -> np.ndarray:
+    """``filter_k(A)`` raised to the ``h``-th hop power, dense output.
+
+    This is the quantity ``Ā^h`` from Lemma 5.4/5.5.  By Lemma 5.5 its
+    k-smallest row entries equal those of ``A^h`` when ``A`` has a zero
+    diagonal; tests verify that equality.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    sparse = row_sparse_from_dense(matrix, k)
+    return hop_power_row_sparse(sparse, hops)
+
+
+def rows_agree_on_k_smallest(
+    a: np.ndarray,
+    b: np.ndarray,
+    k: int,
+) -> bool:
+    """Whether two matrices have identical k-smallest row entries.
+
+    Used by tests for Lemma 5.5 (``Ā^h`` and ``A^h`` agree on the filtered
+    positions, including the ID tie-break).
+    """
+    ia, va = k_smallest_in_rows(a, k)
+    ib, vb = k_smallest_in_rows(b, k)
+    values_match = np.allclose(
+        np.where(np.isfinite(va), va, -1.0),
+        np.where(np.isfinite(vb), vb, -1.0),
+    )
+    return bool(values_match and np.array_equal(ia, ib))

@@ -1,0 +1,21 @@
+"""Spanner substrate: Baswana–Sengupta engine, CZ22 interface, bootstrap."""
+
+from .baswana_sengupta import baswana_sengupta_spanner, spanner_edge_bound
+from .cz22 import SpannerResult, cz22_spanner
+from .logn_approx import (
+    ApproxResult,
+    approx_apsp_via_spanner,
+    bootstrap_b,
+    logn_bootstrap,
+)
+
+__all__ = [
+    "ApproxResult",
+    "SpannerResult",
+    "approx_apsp_via_spanner",
+    "baswana_sengupta_spanner",
+    "bootstrap_b",
+    "cz22_spanner",
+    "logn_bootstrap",
+    "spanner_edge_bound",
+]

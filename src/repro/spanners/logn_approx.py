@@ -1,0 +1,85 @@
+"""APSP approximation by spanner broadcast (Corollaries 7.1 and 7.2).
+
+Corollary 7.1: on a subgraph ``G_S`` with ``N ∈ O(n^{1-1/b})`` nodes, build a
+``(1+eps)(2b-1)``-spanner with ``O(N^{1+1/b}) ⊆ O(n)`` edges, broadcast it
+to everyone, and let every node compute exact APSP on the spanner locally.
+Corollary 7.2 is the special case ``G_S = G`` with ``b ≈ (alpha log n) / 3``,
+yielding the O(log n)-approximation that bootstraps the whole paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cclique.accounting import RoundLedger
+from ..graphs.distances import exact_apsp
+from ..graphs.graph import WeightedGraph
+from .cz22 import SpannerResult, cz22_spanner
+
+
+@dataclass
+class ApproxResult:
+    """A distance estimate plus the factor it is guaranteed to satisfy."""
+
+    estimate: np.ndarray
+    factor: float
+    spanner: Optional[SpannerResult] = None
+
+
+def approx_apsp_via_spanner(
+    graph: WeightedGraph,
+    b: int,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger] = None,
+    eps: float = 0.1,
+) -> ApproxResult:
+    """Corollary 7.1: ``(1+eps)(2b-1)``-approximate APSP via spanner broadcast.
+
+    ``graph`` is the (sub)graph to approximate (the skeleton graph in the
+    paper; the caller has already reduced to it).  The broadcast is charged
+    at the spanner's *measured* edge count: ``ceil(words / n)`` linear
+    broadcasts, where ``n`` is the ledger's clique size.  When the spanner
+    is O(n) edges, this is O(1) rounds, as the corollary requires.
+    """
+    if b < 1:
+        raise ValueError("b must be >= 1")
+    result = cz22_spanner(graph, b, rng, ledger=ledger, eps=eps)
+    if ledger is not None:
+        # An edge is (u, v, w): three words.
+        ledger.charge_broadcast(
+            3 * result.num_edges, detail=f"broadcast spanner ({result.num_edges} edges)"
+        )
+    estimate = exact_apsp(result.spanner)
+    return ApproxResult(estimate=estimate, factor=result.stretch_bound, spanner=result)
+
+
+def bootstrap_b(n: int, alpha: float = 1.0) -> int:
+    """The spanner parameter of Corollary 7.2: ``b = floor(alpha log2 n / 3)``.
+
+    Floored at 2 so small test graphs still take the spanner path (with
+    ``b = 1`` the "spanner" would be the graph itself).
+    """
+    if n < 2:
+        return 2
+    return max(2, int(alpha * math.log2(n) / 3))
+
+
+def logn_bootstrap(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger] = None,
+    alpha: float = 1.0,
+    eps: float = 0.1,
+) -> ApproxResult:
+    """Corollary 7.2: the O(log n)-approximation that seeds every pipeline.
+
+    The guaranteed factor is ``(1+eps)(2b-1)`` with ``b`` from
+    :func:`bootstrap_b`; for ``n`` beyond the small-graph floor this is at
+    most ``alpha * log2 n``, matching the corollary.
+    """
+    b = bootstrap_b(graph.n, alpha=alpha)
+    return approx_apsp_via_spanner(graph, b, rng, ledger=ledger, eps=eps)

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    erdos_renyi,
+    exact_apsp,
+    grid_graph,
+    heavy_tail_weights,
+    path_with_shortcuts,
+    uniform_weights,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic randomness for a test."""
+    return np.random.default_rng(12345)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture
+def small_graph(rng) -> WeightedGraph:
+    """A small connected ER graph with uniform weights."""
+    return erdos_renyi(32, 0.15, rng, weights=uniform_weights(1, 50))
+
+
+@pytest.fixture
+def medium_graph(rng) -> WeightedGraph:
+    """A medium connected ER graph."""
+    return erdos_renyi(64, 0.08, rng, weights=uniform_weights(1, 100))
+
+
+@pytest.fixture
+def long_diameter_graph(rng) -> WeightedGraph:
+    """A path-with-shortcuts graph with heavy weights (big diameter)."""
+    return path_with_shortcuts(48, rng, shortcut_count=6, weights=heavy_tail_weights())
+
+
+def graph_family(seed: int):
+    """A representative set of (name, graph) pairs for sweep tests."""
+    rng = make_rng(seed)
+    return [
+        ("er-sparse", erdos_renyi(40, 0.08, rng)),
+        ("er-dense", erdos_renyi(40, 0.3, rng)),
+        ("grid", grid_graph(6, rng)),
+        ("path", path_with_shortcuts(40, rng, shortcut_count=4)),
+        ("heavy", erdos_renyi(40, 0.1, rng, weights=heavy_tail_weights())),
+    ]
+
+
+def brute_force_k_nearest(exact: np.ndarray, u: int, k: int):
+    """The paper's N_k(u): k nodes with smallest d(u, .), ID tie-break."""
+    n = exact.shape[0]
+    order = np.argsort(exact[u], kind="stable")[:k]
+    return order, exact[u, order]

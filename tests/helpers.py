@@ -1,0 +1,46 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import (
+    erdos_renyi,
+    grid_graph,
+    heavy_tail_weights,
+    path_with_shortcuts,
+)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def graph_family(seed: int):
+    """A representative set of (name, graph) pairs for sweep tests."""
+    rng = make_rng(seed)
+    return [
+        ("er-sparse", erdos_renyi(40, 0.08, rng)),
+        ("er-dense", erdos_renyi(40, 0.3, rng)),
+        ("grid", grid_graph(6, rng)),
+        ("path", path_with_shortcuts(40, rng, shortcut_count=4)),
+        ("heavy", erdos_renyi(40, 0.1, rng, weights=heavy_tail_weights())),
+    ]
+
+
+def brute_force_k_nearest(exact: np.ndarray, u: int, k: int):
+    """The paper's N_k(u): k nodes with smallest d(u, .), ID tie-break."""
+    order = np.argsort(exact[u], kind="stable")[:k]
+    return order, exact[u, order]
+
+
+def synthetic_approximation(
+    exact: np.ndarray, a: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A symmetric a-approximation with random per-pair stretch in [1, a]."""
+    n = exact.shape[0]
+    noise = rng.uniform(1.0, a, size=(n, n))
+    noise = np.maximum(noise, noise.T)
+    delta = exact * noise
+    np.fill_diagonal(delta, 0.0)
+    return delta

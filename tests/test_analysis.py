@@ -1,0 +1,122 @@
+"""Tests for stretch profiling and table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    emit,
+    format_table,
+    results_path,
+    stretch_profile,
+    summarize_stretch,
+)
+from repro.graphs import (
+    assert_valid_approximation,
+    check_estimate,
+    is_symmetric,
+    symmetrize_min,
+)
+
+
+class TestCheckEstimate:
+    def test_perfect_estimate(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        report = check_estimate(exact, exact)
+        assert report.max_stretch == 1.0
+        assert report.sound
+
+    def test_underestimate_detected(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        report = check_estimate(exact, bad)
+        assert not report.sound
+        assert report.underestimates == 1
+
+    def test_stretch_statistics(self):
+        exact = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+        est = exact * 3.0
+        np.fill_diagonal(est, 0.0)
+        report = check_estimate(exact, est)
+        assert report.max_stretch == pytest.approx(3.0)
+        assert report.mean_stretch == pytest.approx(3.0)
+
+    def test_infinite_pairs_skipped(self):
+        exact = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        report = check_estimate(exact, exact)
+        assert report.pairs_checked == 0
+
+    def test_assert_valid_raises_on_violation(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        est = exact * 5.0
+        np.fill_diagonal(est, 0.0)
+        with pytest.raises(AssertionError):
+            assert_valid_approximation(exact, est, alpha=3.0)
+        assert_valid_approximation(exact, est, alpha=5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            check_estimate(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestSymmetry:
+    def test_is_symmetric_with_inf(self):
+        m = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        assert is_symmetric(m)
+
+    def test_symmetrize_min(self):
+        m = np.array([[0.0, 5.0], [3.0, 0.0]])
+        s = symmetrize_min(m)
+        assert s[0, 1] == 3.0 and s[1, 0] == 3.0
+
+
+class TestStretchProfile:
+    def test_profile_within_bound(self):
+        exact = np.array([[0.0, 1.0], [1.0, 0.0]])
+        est = exact * 2.0
+        np.fill_diagonal(est, 0.0)
+        profile = stretch_profile(exact, est, factor_bound=3.0)
+        assert profile.within_bound
+        assert profile.percentiles[100] == pytest.approx(2.0)
+        summary = summarize_stretch(profile)
+        assert "OK" in summary
+
+    def test_profile_violation_flagged(self):
+        exact = np.array([[0.0, 1.0], [1.0, 0.0]])
+        est = exact * 5.0
+        np.fill_diagonal(est, 0.0)
+        profile = stretch_profile(exact, est, factor_bound=2.0)
+        assert not profile.within_bound
+        assert "VIOLATED" in summarize_stretch(profile)
+
+
+class TestTables:
+    def test_format_table_markdown(self):
+        table = format_table(
+            ["n", "rounds", "stretch"],
+            [(64, 10, 1.5), (128, 12, 1.25)],
+            title="Demo",
+        )
+        assert "### Demo" in table
+        assert "| 64 " in table
+        assert table.count("|") > 6
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [(1.0,), (1.23456,)])
+        assert "| 1 " in table
+        assert "1.235" in table
+
+    def test_emit_to_file(self, tmp_path, capsys):
+        sink = tmp_path / "out.md"
+        emit("hello", sink_path=str(sink))
+        assert "hello" in sink.read_text()
+        assert "hello" in capsys.readouterr().out
+
+    def test_results_path_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS", raising=False)
+        assert results_path() is None
+        monkeypatch.setenv("REPRO_RESULTS", "1")
+        assert results_path() == "bench_results.md"
+        monkeypatch.setenv("REPRO_RESULTS", "custom.md")
+        assert results_path() == "custom.md"

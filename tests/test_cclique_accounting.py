@@ -1,0 +1,162 @@
+"""Tests for the round ledger and the cost formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cclique import LoadPreconditionError, RoundLedger
+from repro.cclique import costs
+
+
+class TestLedgerBasics:
+    def test_empty_ledger(self):
+        ledger = RoundLedger(16)
+        assert ledger.total_rounds == 0
+        assert list(ledger) == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RoundLedger(0)
+        with pytest.raises(ValueError):
+            RoundLedger(4, bandwidth_words=0)
+
+    def test_charge_accumulates(self):
+        ledger = RoundLedger(16)
+        ledger.charge(3, "a")
+        ledger.charge(4, "b")
+        assert ledger.total_rounds == 7
+
+    def test_zero_charge_is_free_noop(self):
+        ledger = RoundLedger(16)
+        ledger.charge(0)
+        assert len(ledger.entries) == 0
+
+    def test_negative_charge_rejected(self):
+        ledger = RoundLedger(16)
+        with pytest.raises(ValueError):
+            ledger.charge(-1)
+
+    def test_phases_nest(self):
+        ledger = RoundLedger(16)
+        with ledger.phase("outer"):
+            ledger.charge(1)
+            with ledger.phase("inner"):
+                ledger.charge(2)
+        ledger.charge(4)
+        by_phase = ledger.rounds_by_phase()
+        assert by_phase["outer"] == 1
+        assert by_phase["outer/inner"] == 2
+        assert by_phase["<top>"] == 4
+
+
+class TestLoadValidation:
+    def test_lenzen_within_load(self):
+        ledger = RoundLedger(16)
+        ledger.charge_lenzen_routing(16, 16)
+        assert ledger.total_rounds == costs.LENZEN_ROUTING_ROUNDS
+
+    def test_lenzen_overload_raises(self):
+        ledger = RoundLedger(16)
+        with pytest.raises(LoadPreconditionError):
+            ledger.charge_lenzen_routing(100 * 16, 1)
+        with pytest.raises(LoadPreconditionError):
+            ledger.charge_lenzen_routing(1, 100 * 16)
+
+    def test_redundancy_ignores_send_load(self):
+        ledger = RoundLedger(16)
+        # Lemma 2.2 drops the sent-messages bound.
+        ledger.charge_redundancy_routing(max_received_per_node=16)
+        assert ledger.total_rounds == costs.REDUNDANCY_ROUTING_ROUNDS
+
+    def test_redundancy_receive_overload(self):
+        ledger = RoundLedger(16)
+        with pytest.raises(LoadPreconditionError):
+            ledger.charge_redundancy_routing(max_received_per_node=100 * 16)
+
+
+class TestBroadcastCharging:
+    def test_small_broadcast_constant(self):
+        ledger = RoundLedger(64)
+        ledger.charge_broadcast(64)
+        assert ledger.total_rounds == costs.BROADCAST_LINEAR_ROUNDS
+
+    def test_large_broadcast_batches(self):
+        ledger = RoundLedger(64)
+        ledger.charge_broadcast(64 * 10)
+        assert ledger.total_rounds == 10 * costs.BROADCAST_LINEAR_ROUNDS
+
+    def test_bandwidth_reduces_batches(self):
+        narrow = RoundLedger(64, bandwidth_words=1)
+        wide = RoundLedger(64, bandwidth_words=10)
+        narrow.charge_broadcast(640)
+        wide.charge_broadcast(640)
+        assert wide.total_rounds < narrow.total_rounds
+        assert wide.total_rounds == costs.BROADCAST_LINEAR_ROUNDS
+
+    def test_zero_words_free(self):
+        ledger = RoundLedger(64)
+        ledger.charge_broadcast(0)
+        assert ledger.total_rounds == 0
+
+
+class TestMerging:
+    def test_merge_prefixes_phases(self):
+        main = RoundLedger(16)
+        sub = RoundLedger(16)
+        with sub.phase("inner"):
+            sub.charge(5)
+        main.merge(sub, prefix="sim")
+        assert main.rounds_by_phase() == {"sim/inner": 5}
+
+    def test_merge_parallel_takes_max(self):
+        main = RoundLedger(16)
+        subs = []
+        for rounds in (3, 9, 5):
+            sub = RoundLedger(16, bandwidth_words=2)
+            sub.charge(rounds)
+            subs.append(sub)
+        main.merge_parallel(subs, prefix="scales")
+        assert main.total_rounds == 9
+        # bandwidth contexts add up in a parallel composition
+        assert main.entries[0].bandwidth_words == 6
+
+    def test_merge_parallel_empty(self):
+        main = RoundLedger(16)
+        main.merge_parallel([], prefix="none")
+        assert main.total_rounds == 0
+
+    def test_standard_rounds_scale_with_bandwidth(self):
+        ledger = RoundLedger(16, bandwidth_words=4)
+        ledger.charge(3)
+        assert ledger.total_rounds == 3
+        assert ledger.total_standard_rounds == 12
+
+
+class TestCostFormulas:
+    def test_sparse_matmul_dense_case(self):
+        # Fully dense factors: (n^3)^(1/3) / n^(2/3) = n^(1/3).
+        n = 64
+        rounds = costs.sparse_matmul_rounds(n, n, n, n)
+        assert rounds == int(-(-n ** (1 / 3) // 1)) + 1 or rounds >= 4
+
+    def test_sparse_matmul_sparse_is_constant(self):
+        n = 4096
+        assert costs.sparse_matmul_rounds(n, 10, 10, 10) == 2
+
+    def test_sparse_matmul_monotone(self):
+        n = 256
+        low = costs.sparse_matmul_rounds(n, 4, 4, 4)
+        high = costs.sparse_matmul_rounds(n, 256, 256, 256)
+        assert high >= low
+
+    def test_sparse_matmul_validates_n(self):
+        with pytest.raises(ValueError):
+            costs.sparse_matmul_rounds(0, 1, 1, 1)
+
+    def test_dense_matmul_cube_root(self):
+        assert costs.dense_matmul_rounds(1000) == 10
+
+    def test_bandwidth_factor(self):
+        assert costs.bandwidth_factor(256, 4) == 4
+        with pytest.raises(ValueError):
+            costs.bandwidth_factor(256, 0)

@@ -1,0 +1,76 @@
+"""Tests for broadcast / gather / all-to-all primitives (Section 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cclique import (
+    LoadPreconditionError,
+    SimulatedClique,
+    all_to_all_one_word,
+    broadcast_words,
+    gather_one_word,
+)
+
+
+class TestBroadcastWords:
+    def test_everyone_receives_everything_in_two_rounds(self):
+        n = 8
+        clique = SimulatedClique(n, bandwidth_words=2)
+        words = [10 * i for i in range(n)]
+        received, rounds = broadcast_words(clique, source=3, words=words)
+        assert rounds == 2
+        for node in range(n):
+            assert received[node] == words
+
+    def test_partial_word_list(self):
+        n = 8
+        clique = SimulatedClique(n, bandwidth_words=2)
+        received, _ = broadcast_words(clique, source=0, words=[1, 2, 3])
+        for node in range(n):
+            assert received[node] == [1, 2, 3]
+
+    def test_too_many_words_rejected(self):
+        clique = SimulatedClique(4, bandwidth_words=2)
+        with pytest.raises(LoadPreconditionError):
+            broadcast_words(clique, source=0, words=list(range(5)))
+
+    def test_respects_model_bandwidth(self):
+        """The schedule stays within one message per ordered pair per round
+        (strict mode would raise otherwise)."""
+        n = 16
+        clique = SimulatedClique(n, bandwidth_words=2, strict=True)
+        received, _ = broadcast_words(clique, source=0, words=list(range(n)))
+        assert received[n - 1] == list(range(n))
+
+
+class TestGather:
+    def test_target_collects_all(self):
+        n = 6
+        clique = SimulatedClique(n, bandwidth_words=2)
+        words = [i * i for i in range(n)]
+        collected, rounds = gather_one_word(clique, target=2, words=words)
+        assert rounds == 1
+        assert collected == words
+
+    def test_wrong_arity(self):
+        clique = SimulatedClique(4, bandwidth_words=2)
+        with pytest.raises(ValueError):
+            gather_one_word(clique, target=0, words=[1, 2])
+
+
+class TestAllToAll:
+    def test_exchange(self):
+        n = 5
+        clique = SimulatedClique(n, bandwidth_words=2)
+        words = [[u * 10 + v for v in range(n)] for u in range(n)]
+        received, rounds = all_to_all_one_word(clique, words)
+        assert rounds == 1
+        for v in range(n):
+            for u in range(n):
+                assert received[v][u] == u * 10 + v
+
+    def test_wrong_shape(self):
+        clique = SimulatedClique(3, bandwidth_words=2)
+        with pytest.raises(ValueError):
+            all_to_all_one_word(clique, [[1, 2], [3, 4]])

@@ -1,0 +1,174 @@
+"""Tests for the message-level Congested Clique simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import (
+    BandwidthExceededError,
+    InvalidNodeError,
+    Message,
+    MessageTooLargeError,
+    NodeProgram,
+    ProtocolError,
+    SimulatedClique,
+    word_bits,
+)
+
+
+class TestConstruction:
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            SimulatedClique(0)
+
+    def test_requires_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            SimulatedClique(4, bandwidth_words=0)
+
+    def test_word_bits_grows_with_n(self):
+        assert word_bits(2) == 8  # floor
+        assert word_bits(1 << 20) == 21
+
+    def test_bits_per_message_scales_with_bandwidth(self):
+        narrow = SimulatedClique(16, bandwidth_words=1)
+        wide = SimulatedClique(16, bandwidth_words=4)
+        assert wide.bits_per_message == 4 * narrow.bits_per_message
+
+
+class TestSendStep:
+    def test_single_message_delivery(self):
+        clique = SimulatedClique(4)
+        clique.send(Message(0, 3, (42,)))
+        clique.step()
+        inbox = clique.inbox(3)
+        assert len(inbox) == 1
+        assert inbox[0].payload == (42,)
+        assert inbox[0].sender == 0
+
+    def test_inbox_clears_by_default(self):
+        clique = SimulatedClique(4)
+        clique.send(Message(0, 1, (1,)))
+        clique.step()
+        assert len(clique.inbox(1)) == 1
+        assert clique.inbox(1) == []
+
+    def test_inbox_peek(self):
+        clique = SimulatedClique(4)
+        clique.send(Message(0, 1, (1,)))
+        clique.step()
+        assert len(clique.inbox(1, clear=False)) == 1
+        assert len(clique.inbox(1)) == 1
+
+    def test_bandwidth_enforced_strict(self):
+        clique = SimulatedClique(4, strict=True)
+        clique.send(Message(0, 1, (1,)))
+        with pytest.raises(BandwidthExceededError):
+            clique.send(Message(0, 1, (2,)))
+
+    def test_distinct_receivers_ok_in_one_round(self):
+        clique = SimulatedClique(4)
+        for receiver in range(1, 4):
+            clique.send(Message(0, receiver, (receiver,)))
+        clique.step()
+        for receiver in range(1, 4):
+            assert len(clique.inbox(receiver)) == 1
+
+    def test_spill_in_non_strict_mode(self):
+        clique = SimulatedClique(4, strict=False)
+        for value in range(3):
+            clique.send(Message(0, 1, (value,)))
+        rounds = clique.drain()
+        assert rounds == 3  # one message per round on the congested pair
+        assert clique.spill_rounds >= 1
+        assert sorted(m.payload[0] for m in clique.inbox(1)) == [0, 1, 2]
+
+    def test_message_too_large(self):
+        clique = SimulatedClique(4, bandwidth_words=1)
+        payload = tuple(range(10))
+        with pytest.raises(MessageTooLargeError):
+            clique.send(Message(0, 1, payload))
+
+    def test_large_bandwidth_accepts_multiword(self):
+        clique = SimulatedClique(4, bandwidth_words=10)
+        clique.send(Message(0, 1, tuple(range(10))))
+        clique.step()
+        assert clique.inbox(1)[0].payload == tuple(range(10))
+
+    def test_invalid_node(self):
+        clique = SimulatedClique(4)
+        with pytest.raises(InvalidNodeError):
+            clique.send(Message(0, 9, (1,)))
+        with pytest.raises(InvalidNodeError):
+            clique.inbox(-1)
+
+    def test_round_index_advances(self):
+        clique = SimulatedClique(4)
+        assert clique.round_index == 0
+        clique.step()
+        clique.step()
+        assert clique.round_index == 2
+
+    def test_delivery_statistics(self):
+        clique = SimulatedClique(4, bandwidth_words=3)
+        clique.send(Message(0, 1, (1, 2, 3)))
+        clique.send(Message(2, 3, (4,)))
+        clique.step()
+        assert clique.messages_delivered == 2
+        assert clique.words_delivered == 4
+
+
+class _EchoProgram(NodeProgram):
+    """Round 1: node 0 pings everyone; round 2: everyone echoes; halt."""
+
+    def __init__(self):
+        super().__init__()
+        self.round = 0
+        self.received = []
+
+    def on_round(self, inbox):
+        self.round += 1
+        out = []
+        for message in inbox:
+            self.received.append(message.payload)
+        if self.round == 1 and self.node_id == 0:
+            out = [self.msg(v, 7) for v in range(self.n) if v != self.node_id]
+        elif self.round == 2 and self.received:
+            out = [self.msg(0, self.node_id)]
+        if self.round >= 3:
+            self.halt()
+        return out
+
+
+class TestNodePrograms:
+    def test_echo_protocol(self):
+        clique = SimulatedClique(5)
+        programs = [_EchoProgram() for _ in range(5)]
+        rounds = clique.run(programs)
+        assert rounds == 3
+        echoes = sorted(p[0] for p in programs[0].received)
+        assert echoes == [1, 2, 3, 4]
+
+    def test_program_count_mismatch(self):
+        clique = SimulatedClique(3)
+        with pytest.raises(ProtocolError):
+            clique.run([_EchoProgram()])
+
+    def test_forged_sender_rejected(self):
+        class Forger(NodeProgram):
+            def on_round(self, inbox):
+                self.halt()
+                return [Message(99, 0, (1,))]
+
+        clique = SimulatedClique(2)
+        with pytest.raises(ProtocolError):
+            clique.run([Forger(), Forger()])
+
+    def test_non_halting_protocol_detected(self):
+        class Spinner(NodeProgram):
+            def on_round(self, inbox):
+                return []
+
+        clique = SimulatedClique(2)
+        with pytest.raises(ProtocolError):
+            clique.run([Spinner(), Spinner()], max_rounds=10)

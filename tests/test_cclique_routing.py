@@ -1,0 +1,148 @@
+"""Tests for Lenzen-style routing on the message-level simulator (E10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import (
+    LoadPreconditionError,
+    Message,
+    route_direct,
+    route_randomized,
+    route_two_phase,
+    validate_loads,
+)
+
+
+def full_load_instance(n: int, rng: np.random.Generator):
+    """Every node sends exactly n messages to a random permutation of
+    targets, so every node also receives exactly n messages."""
+    messages = []
+    for _ in range(n):
+        # One permutation round: sender i -> target perm[i].
+        perm = rng.permutation(n)
+        for sender in range(n):
+            messages.append(Message(sender, int(perm[sender]), (sender,)))
+    return messages
+
+
+def skewed_instance(n: int):
+    """All nodes send all their messages to node 0 (receive load n)."""
+    return [Message(s, 0, (s,)) for s in range(n)]
+
+
+def hot_pair_instance(n: int):
+    """Node 0 sends n messages, all to node 1 (pair congestion n)."""
+    return [Message(0, 1, (i,)) for i in range(n)]
+
+
+class TestValidation:
+    def test_loads_computed(self):
+        messages = skewed_instance(8)
+        max_sent, max_received = validate_loads(messages, 8)
+        assert max_sent == 1
+        assert max_received == 8
+
+    def test_overload_raises(self):
+        n = 8
+        messages = [Message(0, i % n, (j,)) for j in range(40 * n) for i in [j]]
+        # node 0 sends 40n messages > 32n limit
+        with pytest.raises(LoadPreconditionError):
+            validate_loads(messages, n)
+
+    def test_receive_only_check(self):
+        n = 8
+        # many messages from one sender but receivers balanced
+        messages = [
+            Message(0, j % n, (j,)) for j in range(40 * n)
+        ]
+        with pytest.raises(LoadPreconditionError):
+            validate_loads(messages, n)
+        # allowed when sent-side checking is off and receives are fine
+        max_sent, _ = validate_loads(messages, n, check_sent=False)
+        assert max_sent == 40 * n
+
+
+class TestTwoPhaseRouting:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_full_load_delivers_everything(self, n):
+        rng = np.random.default_rng(n)
+        messages = full_load_instance(n, rng)
+        delivered, stats = route_two_phase(messages, n)
+        assert stats.messages == n * n
+        total = sum(len(v) for v in delivered.values())
+        assert total == n * n
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_full_load_constant_rounds(self, n):
+        """The headline of Lemma 2.1: O(1) rounds at O(n) load."""
+        rng = np.random.default_rng(n + 1)
+        messages = full_load_instance(n, rng)
+        _, stats = route_two_phase(messages, n)
+        # 2 coordination rounds + two relay phases; congestion spill should
+        # stay a small constant independent of n.
+        assert stats.rounds <= 12
+
+    def test_payloads_preserved(self):
+        n = 8
+        messages = [Message(s, (s + 1) % n, (s, s * 10)) for s in range(n)]
+        delivered, _ = route_two_phase(messages, n)
+        for s in range(n):
+            target = (s + 1) % n
+            payloads = [m.payload for m in delivered[target]]
+            assert (s, s * 10) in payloads
+
+    def test_skewed_receiver(self):
+        n = 16
+        delivered, stats = route_two_phase(skewed_instance(n), n)
+        assert len(delivered[0]) == n
+        assert stats.rounds <= 12
+
+    def test_hot_pair_balanced_by_relays(self):
+        """n messages across one pair: direct needs n rounds, relayed O(1)."""
+        n = 32
+        messages = hot_pair_instance(n)
+        _, direct_stats = route_direct(messages, n)
+        _, relayed_stats = route_two_phase(messages, n)
+        assert direct_stats.rounds >= n
+        assert relayed_stats.rounds <= 12
+        # Slot balancing puts at most ceil(n/n) = 1 message per relay.
+        assert relayed_stats.relay_max_load == 1
+
+    def test_senders_preserved(self):
+        n = 8
+        messages = [Message(s, 0, (s,)) for s in range(n)]
+        delivered, _ = route_two_phase(messages, n)
+        senders = sorted(m.sender for m in delivered[0])
+        assert senders == list(range(n))
+
+
+class TestRandomizedRouting:
+    def test_delivers_everything(self):
+        n = 16
+        rng = np.random.default_rng(7)
+        messages = full_load_instance(n, rng)
+        delivered, stats = route_randomized(messages, n, rng)
+        assert sum(len(v) for v in delivered.values()) == n * n
+
+    def test_rounds_small_whp(self):
+        n = 32
+        rng = np.random.default_rng(8)
+        messages = full_load_instance(n, rng)
+        _, stats = route_randomized(messages, n, rng)
+        # Valiant routing: max relay load O(n) w.h.p. -> constant-ish rounds.
+        assert stats.rounds <= 24
+
+
+class TestDirectRouting:
+    def test_balanced_instance_one_ish_round(self):
+        n = 8
+        messages = [Message(s, (s + 1) % n, (s,)) for s in range(n)]
+        _, stats = route_direct(messages, n)
+        assert stats.rounds == 1
+
+    def test_congestion_costs_rounds(self):
+        n = 8
+        _, stats = route_direct(hot_pair_instance(n), n)
+        assert stats.rounds == n

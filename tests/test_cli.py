@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, build_workload, main
+
+import numpy as np
+
+
+class TestWorkloadBuilder:
+    @pytest.mark.parametrize(
+        "family", ["er", "er-dense", "grid", "path", "pa", "heavy", "poly"]
+    )
+    def test_families_construct(self, family):
+        rng = np.random.default_rng(0)
+        graph = build_workload(family, 36, rng)
+        assert graph.n >= 30
+
+    def test_unknown_family(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            build_workload("bogus", 16, rng)
+
+
+class TestCommands:
+    def test_run_theorem11(self, capsys):
+        code = main(["run", "--n", "40", "--seed", "1", "--variant", "theorem11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "factor" in out
+        assert "rounds" in out
+        assert "OK" in out  # stretch within bound
+
+    def test_run_small_diameter(self, capsys):
+        code = main(["run", "--n", "40", "--variant", "small-diameter"])
+        assert code == 0
+        assert "factor" in capsys.readouterr().out
+
+    def test_run_exact(self, capsys):
+        code = main(["run", "--n", "32", "--variant", "exact"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "factor  : 1.00" in out
+
+    def test_run_tradeoff(self, capsys):
+        code = main(["run", "--n", "40", "--variant", "tradeoff", "--t", "1"])
+        assert code == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_frontier(self, capsys):
+        code = main(["frontier", "--n", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("exact matmul", "UY90", "spanner-only", "thm 7.1", "thm 1.1"):
+            assert name in out
+
+    def test_tradeoff_sweep(self, capsys):
+        code = main(["tradeoff", "--n", "40", "--max-t", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1.2" in out
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--n", "24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing" in out
+        assert "Bellman-Ford" in out
+        assert "max error 0" in out
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_grid_family_via_cli(self, capsys):
+        code = main(["run", "--n", "36", "--family", "grid", "--variant",
+                     "small-diameter"])
+        assert code == 0

@@ -1,0 +1,88 @@
+"""Tests for the baseline algorithms (Section 1.1 landscape)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import RoundLedger
+from repro.core import exact_apsp_baseline, spanner_only_baseline, uy90_baseline
+from repro.graphs import check_estimate, erdos_renyi, exact_apsp
+
+from tests.helpers import make_rng
+
+SEEDS = [0, 1, 2]
+
+
+class TestExactBaseline:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_dijkstra(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(40, 0.15, rng)
+        result = exact_apsp_baseline(graph)
+        assert np.allclose(result.estimate, exact_apsp(graph))
+        assert result.factor == 1.0
+
+    def test_rounds_polynomial(self):
+        rng = make_rng(3)
+        graph = erdos_renyi(64, 0.1, rng)
+        ledger = RoundLedger(64)
+        exact_apsp_baseline(graph, ledger=ledger)
+        # ceil(log2 64) = 6 products, each n^(1/3) = 4 rounds.
+        assert ledger.total_rounds == 6 * 4
+
+
+class TestUY90Baseline:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exact_whp(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(48, 0.12, rng)
+        result = uy90_baseline(graph, rng)
+        assert np.allclose(result.estimate, exact_apsp(graph))
+
+    def test_hop_extension_charge_scales_with_s(self):
+        """The Bellman-Ford stage costs exactly s rounds (the broadcast
+        stage shrinks with s, so the *total* is not monotone at small n)."""
+        rng = make_rng(4)
+        graph = erdos_renyi(48, 0.12, rng)
+
+        def hop_charge(s):
+            ledger = RoundLedger(48)
+            uy90_baseline(graph, make_rng(4), ledger=ledger, hop_parameter=s)
+            return sum(
+                e.rounds for e in ledger.entries if "Bellman-Ford" in e.detail
+            )
+
+        assert hop_charge(4) == 4
+        assert hop_charge(16) == 16
+
+    def test_estimate_is_sound_even_with_tiny_sample(self):
+        """Even when the hitting argument fails, the estimate never
+        underestimates (it is built from real path lengths)."""
+        rng = make_rng(5)
+        graph = erdos_renyi(48, 0.12, rng)
+        result = uy90_baseline(graph, rng, hop_parameter=2, oversample=0.1)
+        report = check_estimate(exact_apsp(graph), result.estimate)
+        assert report.sound
+
+
+class TestSpannerOnlyBaseline:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_guarantee(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(64, 0.1, rng)
+        exact = exact_apsp(graph)
+        result = spanner_only_baseline(graph, rng)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= result.factor + 1e-9
+
+    def test_constant_rounds(self):
+        rng = make_rng(6)
+        graph = erdos_renyi(64, 0.1, rng)
+        ledger = RoundLedger(64)
+        spanner_only_baseline(graph, rng, ledger=ledger)
+        exact_ledger = RoundLedger(64)
+        exact_apsp_baseline(graph, ledger=exact_ledger)
+        # the frontier: spanner-only must be cheaper than exact matmul
+        assert ledger.total_rounds < exact_ledger.total_rounds + 50

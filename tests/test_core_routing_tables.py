@@ -1,0 +1,104 @@
+"""Tests for greedy routing tables built from APSP estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.routing_tables import (
+    Route,
+    greedy_route,
+    next_hop_table,
+    routing_quality,
+)
+from repro.graphs import WeightedGraph, erdos_renyi, exact_apsp, grid_graph
+
+from tests.helpers import make_rng
+
+
+class TestNextHopTable:
+    def test_exact_estimates_give_shortest_next_hop(self):
+        graph = WeightedGraph(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 10)])
+        exact = exact_apsp(graph)
+        table = next_hop_table(graph, exact)
+        assert table[0, 3] == 1  # via the cheap path, not the direct edge
+        assert table[0, 1] == 1
+        assert table[3, 0] == 2
+
+    def test_diagonal_self(self):
+        graph = WeightedGraph(3, [(0, 1, 1), (1, 2, 1)])
+        table = next_hop_table(graph, exact_apsp(graph))
+        assert np.array_equal(np.diag(table), np.arange(3))
+
+    def test_isolated_node(self):
+        graph = WeightedGraph(3, [(0, 1, 1)])
+        table = next_hop_table(graph, exact_apsp(graph))
+        assert table[2, 0] == -1
+        assert table[0, 2] == -1
+
+    def test_shape_validation(self):
+        graph = WeightedGraph(3, [(0, 1, 1)])
+        with pytest.raises(ValueError):
+            next_hop_table(graph, np.zeros((2, 2)))
+
+
+class TestGreedyRoute:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_estimates_route_optimally(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(30, 0.15, rng)
+        exact = exact_apsp(graph)
+        for _ in range(20):
+            s, t = rng.integers(0, 30, size=2)
+            if s == t:
+                continue
+            route = greedy_route(graph, exact, int(s), int(t))
+            assert route.delivered
+            assert route.length == pytest.approx(exact[s, t])
+
+    def test_unreachable_target(self):
+        graph = WeightedGraph(4, [(0, 1, 1), (2, 3, 1)])
+        exact = exact_apsp(graph)
+        route = greedy_route(graph, exact, 0, 3)
+        assert not route.delivered
+
+    def test_source_equals_target(self):
+        graph = WeightedGraph(3, [(0, 1, 1), (1, 2, 1)])
+        route = greedy_route(graph, exact_apsp(graph), 1, 1)
+        assert route.delivered
+        assert route.hops == 0
+        assert route.length == 0.0
+
+    def test_hop_budget_respected(self):
+        graph = WeightedGraph(5, [(i, i + 1, 1) for i in range(4)])
+        exact = exact_apsp(graph)
+        route = greedy_route(graph, exact, 0, 4, max_hops=2)
+        assert not route.delivered
+        assert route.hops <= 3
+
+
+class TestRoutingQuality:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_approximate_estimates_still_route_well(self, seed):
+        """Routing on a Theorem 7.1 estimate: high delivery, low stretch."""
+        from repro.core import apsp_small_diameter
+
+        rng = make_rng(seed)
+        graph = erdos_renyi(48, 0.12, rng)
+        exact = exact_apsp(graph)
+        result = apsp_small_diameter(graph, rng)
+        quality = routing_quality(graph, result.estimate, exact, rng, samples=100)
+        assert quality.attempts > 0
+        # greedy forwarding on approximate tables can loop on a few pairs;
+        # delivery stays high but is legitimately below 100%.
+        assert quality.delivery_rate >= 0.8
+        if quality.delivered:
+            assert quality.max_stretch <= result.factor + 1e-9
+
+    def test_exact_estimates_stretch_one(self):
+        rng = make_rng(5)
+        graph = grid_graph(6, rng)
+        exact = exact_apsp(graph)
+        quality = routing_quality(graph, exact, exact, rng, samples=100)
+        assert quality.delivery_rate == 1.0
+        assert quality.mean_stretch == pytest.approx(1.0)

@@ -1,0 +1,211 @@
+"""Tests for skeleton graphs (Section 6, Lemmas 3.4 / 6.1-6.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import RoundLedger
+from repro.core import (
+    build_hitting_set,
+    build_skeleton,
+    extend_estimate,
+    verify_skeleton_conditions,
+)
+from repro.core.skeleton import SkeletonError
+from repro.graphs import (
+    WeightedGraph,
+    check_estimate,
+    erdos_renyi,
+    exact_apsp,
+    grid_graph,
+)
+from repro.semiring import k_smallest_in_rows
+
+from tests.helpers import make_rng
+
+SEEDS = [0, 1, 2]
+
+
+def exact_nearest_tables(exact: np.ndarray, k: int):
+    return k_smallest_in_rows(exact, k)
+
+
+class TestHittingSet:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_hits_every_set(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(50, 0.15, rng)
+        exact = exact_apsp(graph)
+        k = 7
+        idx, _ = exact_nearest_tables(exact, k)
+        members = build_hitting_set(idx, 50, k, rng)
+        member_set = set(members.tolist())
+        for u in range(50):
+            assert member_set & set(idx[u].tolist()), f"set of {u} missed"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_size_near_bound(self, seed):
+        """|S| stays within the O(n log k / k) bound (explicit constant)."""
+        rng = make_rng(seed)
+        n, k = 100, 10
+        graph = erdos_renyi(n, 0.2, rng)
+        exact = exact_apsp(graph)
+        idx, _ = exact_nearest_tables(exact, k)
+        members = build_hitting_set(idx, n, k, rng)
+        assert len(members) <= 4 * n * np.log(k) / k + k
+
+    def test_k_one_degenerates_gracefully(self, rng):
+        # k = 1: every node's set is itself, so S = V.
+        n = 10
+        idx = np.arange(n, dtype=np.int64).reshape(n, 1)
+        members = build_hitting_set(idx, n, 1, rng)
+        assert len(members) == n
+
+    def test_ledger_charged(self, rng):
+        n = 20
+        idx = np.arange(n, dtype=np.int64).reshape(n, 1)
+        ledger = RoundLedger(n)
+        build_hitting_set(idx, n, 1, rng, ledger=ledger)
+        assert ledger.total_rounds > 0
+
+
+class TestSkeletonSimplified:
+    """Lemma 3.4: exact k-nearest inputs (a = 1)."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transfer_guarantee_exact_inner(self, seed):
+        """With exact APSP on G_S (l = 1), eta is a 7-approximation."""
+        rng = make_rng(seed)
+        n, k = 48, 7
+        graph = erdos_renyi(n, 0.15, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        inner = exact_apsp(skeleton.graph)
+        eta, factor = extend_estimate(skeleton, inner, 1.0)
+        assert factor == pytest.approx(7.0)
+        report = check_estimate(exact, eta)
+        assert report.sound
+        assert report.max_stretch <= 7.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transfer_guarantee_spanner_inner(self, seed):
+        """With an l-approximation on G_S, eta is a 7l-approximation."""
+        rng = make_rng(seed)
+        n, k = 48, 7
+        graph = erdos_renyi(n, 0.15, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        inner_exact = exact_apsp(skeleton.graph)
+        l = 3.0
+        inner = inner_exact * l  # synthetic worst-case l-approximation
+        np.fill_diagonal(inner, 0.0)
+        eta, factor = extend_estimate(skeleton, inner, l)
+        assert factor == pytest.approx(21.0)
+        report = check_estimate(exact, eta)
+        assert report.sound
+        assert report.max_stretch <= 21.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_size_bound(self, seed):
+        rng = make_rng(seed)
+        n, k = 100, 10
+        graph = erdos_renyi(n, 0.1, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        assert skeleton.num_nodes <= skeleton.size_bound + k
+
+    def test_grid_graph(self, rng):
+        graph = grid_graph(7, rng)
+        exact = exact_apsp(graph)
+        k = 7
+        idx, val = exact_nearest_tables(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        eta, _ = extend_estimate(skeleton, exact_apsp(skeleton.graph), 1.0)
+        report = check_estimate(exact, eta)
+        assert report.sound
+        assert report.max_stretch <= 7.0 + 1e-9
+
+    def test_rounds_charged_constant(self, rng):
+        n, k = 48, 7
+        graph = erdos_renyi(n, 0.15, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        ledger = RoundLedger(n)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0, ledger=ledger)
+        extend_estimate(skeleton, exact_apsp(skeleton.graph), 1.0, ledger)
+        assert 0 < ledger.total_rounds <= 20
+
+    def test_eta_symmetric_and_zero_diagonal(self, rng):
+        n, k = 40, 6
+        graph = erdos_renyi(n, 0.15, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        eta, _ = extend_estimate(skeleton, exact_apsp(skeleton.graph), 1.0)
+        assert np.allclose(eta, eta.T)
+        assert np.all(np.diag(eta) == 0)
+
+
+class TestSkeletonFullVersion:
+    """Lemma 6.1: approximate ~N_k inputs with factor a."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transfer_guarantee_with_approximate_sets(self, seed):
+        rng = make_rng(seed)
+        n, k = 48, 7
+        graph = erdos_renyi(n, 0.15, rng)
+        exact = exact_apsp(graph)
+        a = 1.5
+        # Build an a-approximation and derive ~N_k from it (the Theorem 8.1
+        # situation); conditions (C1)/(C2) hold by the paper's argument.
+        noise = rng.uniform(1.0, a, size=(n, n))
+        delta = exact * np.maximum(noise, noise.T)
+        np.fill_diagonal(delta, 0.0)
+        idx, val = k_smallest_in_rows(delta, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=a)
+        inner = exact_apsp(skeleton.graph)
+        eta, factor = extend_estimate(skeleton, inner, 1.0)
+        assert factor == pytest.approx(7.0 * a * a)
+        report = check_estimate(exact, eta)
+        assert report.sound
+        assert report.max_stretch <= factor + 1e-9
+
+    def test_verify_conditions_helper(self, rng):
+        n, k = 30, 5
+        graph = erdos_renyi(n, 0.2, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        assert verify_skeleton_conditions(exact, idx, val, a=1.0)
+        # Corrupt one value below the true distance: (C1) must fail.
+        bad = val.copy()
+        bad[0, -1] = 0.0
+        assert not verify_skeleton_conditions(exact, idx, bad, a=1.0)
+
+
+class TestSkeletonValidation:
+    def test_directed_rejected(self, rng):
+        graph = WeightedGraph(4, [(0, 1, 1)], directed=True)
+        idx = np.zeros((4, 1), dtype=np.int64)
+        val = np.zeros((4, 1))
+        with pytest.raises(SkeletonError):
+            build_skeleton(graph, idx, val, 1, rng)
+
+    def test_shape_mismatch(self, rng):
+        graph = WeightedGraph(4, [(0, 1, 1)])
+        idx = np.zeros((3, 1), dtype=np.int64)
+        val = np.zeros((3, 1))
+        with pytest.raises(SkeletonError):
+            build_skeleton(graph, idx, val, 1, rng)
+
+    def test_extend_shape_mismatch(self, rng):
+        n, k = 20, 4
+        graph = erdos_renyi(n, 0.3, rng)
+        exact = exact_apsp(graph)
+        idx, val = exact_nearest_tables(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        with pytest.raises(SkeletonError):
+            extend_estimate(skeleton, np.zeros((2, 2)), 1.0)

@@ -1,0 +1,127 @@
+"""Tests for the zero-weight reduction (Theorem 2.1 / Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import RoundLedger
+from repro.core import (
+    Estimate,
+    compress_zero_components,
+    lift_zero_weights,
+)
+from repro.graphs import (
+    WeightedGraph,
+    check_estimate,
+    clustered_zero_weight_graph,
+    erdos_renyi,
+    exact_apsp,
+)
+
+from tests.helpers import make_rng
+
+SEEDS = [0, 1, 2]
+
+
+def exact_solver(graph: WeightedGraph) -> Estimate:
+    return Estimate(estimate=exact_apsp(graph), factor=1.0)
+
+
+def doubling_solver(graph: WeightedGraph) -> Estimate:
+    """A synthetic 2-approximation solver."""
+    estimate = exact_apsp(graph) * 2.0
+    np.fill_diagonal(estimate, 0.0)
+    return Estimate(estimate=estimate, factor=2.0)
+
+
+class TestCompression:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compressed_graph_is_positive(self, seed):
+        rng = make_rng(seed)
+        graph = clustered_zero_weight_graph(5, 6, rng)
+        _, _, compressed = compress_zero_components(graph)
+        assert float(compressed.edge_w.min(initial=1.0)) > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compressed_distances_match(self, seed):
+        """d_G(u, v) = d_compressed(leader(u), leader(v))."""
+        rng = make_rng(seed)
+        graph = clustered_zero_weight_graph(5, 6, rng)
+        leader, leaders, compressed = compress_zero_components(graph)
+        exact_full = exact_apsp(graph)
+        exact_small = exact_apsp(compressed)
+        compact = {int(s): i for i, s in enumerate(leaders)}
+        for u in range(graph.n):
+            for v in range(graph.n):
+                lu, lv = compact[int(leader[u])], compact[int(leader[v])]
+                assert exact_full[u, v] == pytest.approx(exact_small[lu, lv])
+
+    def test_edge_minimum_kept(self):
+        graph = WeightedGraph(
+            4,
+            [(0, 1, 0), (2, 3, 0), (0, 2, 9), (1, 3, 4)],
+            require_positive=False,
+        )
+        _, _, compressed = compress_zero_components(graph)
+        assert compressed.num_edges == 1
+        assert float(compressed.edge_w[0]) == 4.0
+
+    def test_directed_rejected(self):
+        graph = WeightedGraph(
+            2, [(0, 1, 0)], directed=True, require_positive=False
+        )
+        with pytest.raises(ValueError):
+            compress_zero_components(graph)
+
+
+class TestLift:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exact_solver_stays_exact(self, seed):
+        rng = make_rng(seed)
+        graph = clustered_zero_weight_graph(4, 7, rng)
+        exact = exact_apsp(graph)
+        result = lift_zero_weights(graph, exact_solver)
+        assert result.factor == 1.0
+        assert np.allclose(result.estimate, exact)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_factor_preserved(self, seed):
+        """Theorem 2.1: an a-approximation solver yields an a-approximation."""
+        rng = make_rng(seed)
+        graph = clustered_zero_weight_graph(4, 7, rng)
+        exact = exact_apsp(graph)
+        result = lift_zero_weights(graph, doubling_solver)
+        assert result.factor == 2.0
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= 2.0 + 1e-9
+
+    def test_positive_graph_passthrough(self, rng):
+        graph = erdos_renyi(20, 0.3, rng)
+        result = lift_zero_weights(graph, exact_solver)
+        assert np.allclose(result.estimate, exact_apsp(graph))
+        assert "zero_components" not in result.meta
+
+    def test_overhead_is_constant_rounds(self):
+        rng = make_rng(5)
+        graph = clustered_zero_weight_graph(4, 7, rng)
+        ledger = RoundLedger(graph.n)
+        lift_zero_weights(graph, exact_solver, ledger=ledger)
+        # Theorem 2.1: f(n) + O(1); the solver here charges nothing, so the
+        # whole ledger is the overhead.
+        assert 0 < ledger.total_rounds <= 15
+
+    def test_intra_component_zero(self):
+        rng = make_rng(6)
+        graph = clustered_zero_weight_graph(3, 8, rng)
+        result = lift_zero_weights(graph, exact_solver)
+        exact = exact_apsp(graph)
+        zero_pairs = exact == 0
+        assert np.all(result.estimate[zero_pairs] == 0)
+
+    def test_meta_reports_components(self):
+        rng = make_rng(7)
+        graph = clustered_zero_weight_graph(6, 5, rng)
+        result = lift_zero_weights(graph, exact_solver)
+        assert result.meta["zero_components"] == 6

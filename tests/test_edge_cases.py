@@ -1,0 +1,165 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Degenerate sizes (n = 1, 2), extreme topologies (star, complete, single
+edge), disconnected inputs, and deliberately broken preconditions — the
+inputs a downstream user will eventually throw at the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import LoadPreconditionError, RoundLedger
+from repro.core import (
+    apsp_small_diameter,
+    apsp_theorem11,
+    build_knearest_hopset,
+    exact_apsp_baseline,
+    knearest_one_round,
+)
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    check_estimate,
+    erdos_renyi,
+    exact_apsp,
+)
+
+from tests.helpers import make_rng
+
+
+def star_graph(n: int, weight: float = 3.0) -> WeightedGraph:
+    return WeightedGraph(n, [(0, i, weight) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> WeightedGraph:
+    edges = [(i, j, 1 + ((i + j) % 5)) for i in range(n) for j in range(i + 1, n)]
+    return WeightedGraph(n, edges)
+
+
+class TestDegenerateSizes:
+    def test_single_node_graph(self):
+        graph = WeightedGraph(1)
+        assert graph.matrix().shape == (1, 1)
+        assert exact_apsp(graph)[0, 0] == 0
+
+    def test_single_node_pipeline(self, rng):
+        graph = WeightedGraph(1)
+        result = apsp_small_diameter(graph, rng)
+        assert result.factor == 1.0
+
+    def test_two_node_graph(self, rng):
+        graph = WeightedGraph(2, [(0, 1, 7)])
+        result = apsp_small_diameter(graph, rng)
+        assert result.estimate[0, 1] == 7
+
+    def test_single_edge_many_nodes(self, rng):
+        graph = WeightedGraph(20, [(3, 11, 5)])
+        result = apsp_small_diameter(graph, rng)
+        assert result.estimate[3, 11] == 5
+        assert np.isinf(result.estimate[0, 1])
+
+
+class TestExtremeTopologies:
+    @pytest.mark.parametrize("pipeline", [apsp_small_diameter, apsp_theorem11])
+    def test_star(self, pipeline):
+        rng = make_rng(0)
+        graph = star_graph(40)
+        exact = exact_apsp(graph)
+        result = pipeline(graph, rng)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= result.factor + 1e-9
+
+    @pytest.mark.parametrize("pipeline", [apsp_small_diameter, apsp_theorem11])
+    def test_complete(self, pipeline):
+        rng = make_rng(1)
+        graph = complete_graph(32)
+        exact = exact_apsp(graph)
+        result = pipeline(graph, rng)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= result.factor + 1e-9
+
+    def test_uniform_weights_all_equal(self):
+        rng = make_rng(2)
+        graph = WeightedGraph(30, [(i, (i + 1) % 30, 5) for i in range(30)])
+        exact = exact_apsp(graph)
+        result = apsp_small_diameter(graph, rng)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= result.factor + 1e-9
+
+
+class TestDisconnectedInputs:
+    def test_disconnected_estimates_stay_infinite(self):
+        rng = make_rng(3)
+        half = erdos_renyi(20, 0.3, rng)
+        edges = list(half.edges()) + [
+            (u + 20, v + 20, w) for u, v, w in half.edges()
+        ]
+        graph = WeightedGraph(40, edges)
+        exact = exact_apsp(graph)
+        result = apsp_small_diameter(graph, rng)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        # cross-component pairs must not get finite estimates
+        assert np.all(np.isinf(result.estimate[:20, 20:]) | np.isinf(exact[:20, 20:]))
+
+    def test_exact_baseline_disconnected(self):
+        graph = WeightedGraph(4, [(0, 1, 2)])
+        result = exact_apsp_baseline(graph)
+        assert np.isinf(result.estimate[0, 3])
+
+
+class TestFailureInjection:
+    def test_hopset_rejects_bad_delta_shape(self, rng):
+        graph = erdos_renyi(12, 0.4, rng)
+        with pytest.raises(ValueError):
+            build_knearest_hopset(graph, np.zeros((4, 4)), 1.0)
+
+    def test_knearest_overload_raises_not_corrupts(self, rng):
+        graph = erdos_renyi(30, 0.4, rng)
+        with pytest.raises(LoadPreconditionError):
+            knearest_one_round(graph.matrix(), k=29, h=3)
+
+    def test_ledger_overload_is_atomic(self):
+        """A rejected charge leaves the ledger unchanged."""
+        ledger = RoundLedger(16)
+        ledger.charge(3)
+        with pytest.raises(LoadPreconditionError):
+            ledger.charge_lenzen_routing(10_000, 1)
+        assert ledger.total_rounds == 3
+
+    def test_graph_rejects_nan_weights(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(2, [(0, 1, float("nan"))])
+
+    def test_graph_rejects_inf_weights(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(2, [(0, 1, float("inf"))])
+
+
+class TestDeterminism:
+    def test_hopset_deterministic(self):
+        rng = make_rng(4)
+        graph = erdos_renyi(24, 0.25, rng)
+        exact = exact_apsp(graph)
+        first = build_knearest_hopset(graph, exact, 1.0)
+        second = build_knearest_hopset(graph, exact, 1.0)
+        assert set(first.hopset.edges()) == set(second.hopset.edges())
+
+    def test_knearest_deterministic(self):
+        rng = make_rng(5)
+        graph = erdos_renyi(24, 0.25, rng)
+        a = knearest_one_round(graph.matrix(), 4, 2)
+        b = knearest_one_round(graph.matrix(), 4, 2)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_pipeline_deterministic_given_seed(self):
+        graph = erdos_renyi(40, 0.15, make_rng(6))
+        r1 = apsp_theorem11(graph, make_rng(7))
+        r2 = apsp_theorem11(graph, make_rng(7))
+        assert np.allclose(r1.estimate, r2.estimate)
+        assert r1.factor == r2.factor

@@ -1,0 +1,96 @@
+"""Tests for the Borůvka MSF engine (substrate of Theorem 2.1)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import WeightedGraph, clustered_zero_weight_graph, erdos_renyi
+from repro.mst import (
+    DisjointSets,
+    connected_components_zero_subgraph,
+    minimum_spanning_forest,
+)
+
+
+def nx_mst_weight(graph: WeightedGraph) -> float:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(g, data=True))
+
+
+class TestDisjointSets:
+    def test_union_find(self):
+        ds = DisjointSets(4)
+        assert ds.union(0, 1)
+        assert not ds.union(1, 0)
+        assert ds.find(0) == ds.find(1)
+        assert ds.find(2) != ds.find(0)
+
+
+class TestMinimumSpanningForest:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_weight_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = erdos_renyi(40, 0.2, rng)
+        forest = minimum_spanning_forest(graph)
+        assert len(forest) == graph.n - 1
+        assert sum(w for _, _, w in forest) == pytest.approx(nx_mst_weight(graph))
+
+    def test_disconnected_forest(self):
+        graph = WeightedGraph(5, [(0, 1, 1), (2, 3, 2)])
+        forest = minimum_spanning_forest(graph)
+        assert len(forest) == 2
+
+    def test_deterministic(self, rng):
+        graph = erdos_renyi(30, 0.3, rng)
+        assert minimum_spanning_forest(graph) == minimum_spanning_forest(graph)
+
+    def test_directed_rejected(self):
+        graph = WeightedGraph(3, [(0, 1, 1)], directed=True)
+        with pytest.raises(ValueError):
+            minimum_spanning_forest(graph)
+
+
+class TestZeroComponents:
+    def test_labels_are_minimum_member(self):
+        graph = WeightedGraph(
+            6,
+            [(0, 1, 0), (1, 2, 0), (3, 4, 0), (2, 3, 5), (4, 5, 7)],
+            require_positive=False,
+        )
+        labels = connected_components_zero_subgraph(graph)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 5]
+
+    def test_no_zero_edges(self):
+        graph = WeightedGraph(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+        labels = connected_components_zero_subgraph(graph)
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cluster_graph_components(self, seed):
+        rng = np.random.default_rng(seed)
+        clusters, size = 5, 6
+        graph = clustered_zero_weight_graph(clusters, size, rng)
+        labels = connected_components_zero_subgraph(graph)
+        # every cluster collapses to one label; there are exactly `clusters`
+        assert len(np.unique(labels)) == clusters
+        for c in range(clusters):
+            block = labels[c * size : (c + 1) * size]
+            assert len(np.unique(block)) == 1
+
+    def test_zero_component_distances_are_zero(self):
+        """Nodes in the same zero-component are at distance 0 (minimax
+        property of MSTs guarantees the filter finds exactly them)."""
+        rng = np.random.default_rng(3)
+        graph = clustered_zero_weight_graph(4, 5, rng)
+        from repro.graphs import exact_apsp
+
+        exact = exact_apsp(graph)
+        labels = connected_components_zero_subgraph(graph)
+        same = labels[:, None] == labels[None, :]
+        assert np.all(exact[same] == 0)
+        assert np.all(exact[~same] > 0)

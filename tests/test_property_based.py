@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategy: generate small random weighted graphs and check the paper's
+contracts hold for *every* instance, not just the seeded ensembles:
+
+* estimates never underestimate and respect their advertised factor;
+* the k-nearest machinery agrees with brute force;
+* filtered matrix powers preserve the k smallest row entries (Lemma 5.5);
+* hopsets preserve distances and certify their hop bound;
+* min-plus algebra laws; tie-breaking determinism.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_knearest_hopset,
+    knearest_one_round,
+    lift_zero_weights,
+    reduce_approximation,
+)
+from repro.core.results import Estimate
+from repro.graphs import WeightedGraph, check_estimate, exact_apsp
+from repro.semiring import (
+    filter_rows,
+    k_smallest_in_rows,
+    minplus,
+    minplus_power,
+    rows_agree_on_k_smallest,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=16, max_weight=20):
+    """Small connected weighted graphs (random tree + extra edges)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        weight = draw(st.integers(1, max_weight))
+        edges.append((v, parent, weight))
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v, draw(st.integers(1, max_weight))))
+    return WeightedGraph(n, edges)
+
+
+@st.composite
+def adjacency_matrices(draw, min_n=3, max_n=10):
+    """Min-plus adjacency matrices with zero diagonal."""
+    n = draw(st.integers(min_n, max_n))
+    matrix = np.full((n, n), np.inf)
+    np.fill_diagonal(matrix, 0.0)
+    count = draw(st.integers(0, n * (n - 1)))
+    for _ in range(count):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i != j:
+            matrix[i, j] = float(draw(st.integers(1, 15)))
+    return matrix
+
+
+class TestMinplusLaws:
+    @SETTINGS
+    @given(adjacency_matrices())
+    def test_power_monotone_in_exponent(self, matrix):
+        p2 = minplus_power(matrix, 2)
+        p3 = minplus_power(matrix, 3)
+        assert np.all(p3 <= p2 + 1e-9)
+
+    @SETTINGS
+    @given(adjacency_matrices())
+    def test_product_dominates_longer_paths(self, matrix):
+        """A^2 <= A pointwise (zero diagonal makes powers decreasing)."""
+        squared = minplus(matrix, matrix)
+        assert np.all(squared <= matrix + 1e-9)
+
+    @SETTINGS
+    @given(adjacency_matrices(), st.integers(1, 4))
+    def test_filter_is_idempotent(self, matrix, k):
+        once = filter_rows(matrix, k)
+        twice = filter_rows(once, k)
+        assert np.array_equal(
+            np.where(np.isfinite(once), once, -1),
+            np.where(np.isfinite(twice), twice, -1),
+        )
+
+    @SETTINGS
+    @given(adjacency_matrices(), st.integers(1, 5))
+    def test_k_smallest_sorted_and_tiebroken(self, matrix, k):
+        idx, val = k_smallest_in_rows(matrix, k)
+        finite = np.isfinite(val)
+        # values ascending within each row
+        for row_vals, row_fin in zip(val, finite):
+            kept = row_vals[row_fin]
+            assert np.all(np.diff(kept) >= -1e-9)
+        # equal values appear in increasing ID order
+        for r in range(matrix.shape[0]):
+            for a in range(k - 1):
+                if finite[r, a] and finite[r, a + 1]:
+                    if val[r, a] == val[r, a + 1]:
+                        assert idx[r, a] < idx[r, a + 1]
+
+
+class TestLemma55Property:
+    @SETTINGS
+    @given(adjacency_matrices(), st.integers(1, 4), st.integers(1, 3))
+    def test_filtered_power_agrees(self, matrix, k, h):
+        from repro.semiring import filtered_hop_power
+
+        truth = minplus_power(matrix, h)
+        filtered = filtered_hop_power(matrix, h, k)
+        assert rows_agree_on_k_smallest(truth, filtered, k)
+
+
+class TestKNearestProperty:
+    @SETTINGS
+    @given(connected_graphs(), st.integers(1, 4))
+    def test_one_round_matches_brute_force(self, graph, k):
+        h = 2
+        result = knearest_one_round(graph.matrix(), k, h, validate=False)
+        truth = minplus_power(graph.matrix(), h)
+        t_idx, t_val = k_smallest_in_rows(truth, k)
+        assert np.array_equal(result.indices, t_idx)
+
+
+class TestHopsetProperty:
+    @SETTINGS
+    @given(connected_graphs(min_nodes=5, max_nodes=14), st.integers(1, 3))
+    def test_distances_preserved_and_hop_bound(self, graph, a_int):
+        a = float(a_int)
+        exact = exact_apsp(graph)
+        delta = exact * a
+        np.fill_diagonal(delta, 0.0)
+        hopset = build_knearest_hopset(graph, delta, a)
+        augmented = hopset.augmented(graph)
+        aug_exact = exact_apsp(augmented)
+        assert np.allclose(aug_exact, exact)
+        # beta-hop exactness on the k nearest
+        beta_hop = minplus_power(augmented.matrix(), hopset.beta_bound)
+        for u in range(graph.n):
+            order = np.argsort(exact[u], kind="stable")[: hopset.k]
+            assert np.allclose(beta_hop[u, order], exact[u, order])
+
+
+class TestReductionProperty:
+    @SETTINGS
+    @given(connected_graphs(min_nodes=8, max_nodes=14), st.integers(2, 8))
+    def test_estimate_contract(self, graph, a_int):
+        rng = np.random.default_rng(0)
+        a = float(a_int)
+        exact = exact_apsp(graph)
+        delta = exact * a
+        np.fill_diagonal(delta, 0.0)
+        result = reduce_approximation(graph, delta, a, rng)
+        report = check_estimate(exact, result.estimate)
+        assert report.sound
+        assert report.max_stretch <= result.factor + 1e-9
+        assert result.factor <= 15.0 * math.sqrt(a) + 1e-9
+
+
+class TestZeroWeightProperty:
+    @st.composite
+    @staticmethod
+    def graphs_with_zeros(draw):
+        n = draw(st.integers(4, 12))
+        edges = []
+        for v in range(1, n):
+            parent = draw(st.integers(0, v - 1))
+            weight = draw(st.integers(0, 10))
+            edges.append((v, parent, weight))
+        return WeightedGraph(n, edges, require_positive=False)
+
+    @SETTINGS
+    @given(graphs_with_zeros())
+    def test_lift_exactness(self, graph):
+        def solver(g):
+            return Estimate(estimate=exact_apsp(g), factor=1.0)
+
+        result = lift_zero_weights(graph, solver)
+        assert np.allclose(result.estimate, exact_apsp(graph))

@@ -1,0 +1,157 @@
+"""Extended property-based tests: skeletons, scaling, spanners, routing.
+
+Complements ``test_property_based.py`` with the higher-level invariants:
+
+* skeleton transfer never exceeds ``7 l a^2`` and never underestimates;
+* weight scaling's eta keeps both lemma conclusions on random graphs;
+* spanners are subgraphs within stretch ``2k-1``;
+* greedy routing from exact estimates reproduces exact distances;
+* message-level protocols agree with global implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    assemble_eta,
+    build_scaled_graph,
+    build_skeleton,
+    clip_estimate,
+    extend_estimate,
+    plan_scaling,
+    verify_scaling_guarantees,
+)
+from repro.core.routing_tables import greedy_route, next_hop_table
+from repro.graphs import WeightedGraph, check_estimate, exact_apsp
+from repro.semiring import k_smallest_in_rows, minplus_power
+from repro.spanners import baswana_sengupta_spanner
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=6, max_nodes=18, max_weight=30):
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((v, parent, draw(st.integers(1, max_weight))))
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v, draw(st.integers(1, max_weight))))
+    return WeightedGraph(n, edges)
+
+
+class TestSkeletonProperty:
+    @SETTINGS
+    @given(connected_graphs(), st.integers(2, 5), st.integers(0, 10_000))
+    def test_transfer_contract(self, graph, k, seed):
+        rng = np.random.default_rng(seed)
+        exact = exact_apsp(graph)
+        k = min(k, graph.n)
+        idx, val = k_smallest_in_rows(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        inner = exact_apsp(skeleton.graph)
+        eta, factor = extend_estimate(skeleton, inner, 1.0)
+        report = check_estimate(exact, eta)
+        assert report.sound
+        assert report.max_stretch <= factor + 1e-9
+
+    @SETTINGS
+    @given(connected_graphs(), st.integers(0, 10_000))
+    def test_skeleton_nodes_subset(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        exact = exact_apsp(graph)
+        k = min(3, graph.n)
+        idx, val = k_smallest_in_rows(exact, k)
+        skeleton = build_skeleton(graph, idx, val, k, rng, a=1.0)
+        assert np.all(skeleton.nodes < graph.n)
+        assert np.all(np.diff(skeleton.nodes) > 0)  # sorted, unique
+        # every node's center is a real skeleton member
+        assert np.all(skeleton.center >= 0)
+        assert np.all(skeleton.center < skeleton.num_nodes)
+
+
+class TestScalingProperty:
+    @SETTINGS
+    @given(connected_graphs(max_weight=500), st.integers(2, 6))
+    def test_eta_contract(self, graph, h):
+        exact = exact_apsp(graph)
+        eps = 0.5
+        plan = plan_scaling(exact, h=h, eps=eps)
+        estimates = {}
+        for i in plan.needed:
+            scaled = build_scaled_graph(graph, i, plan)
+            estimates[i] = clip_estimate(exact_apsp(scaled), plan)
+        eta = assemble_eta(estimates, plan)
+        hop_ok = np.isclose(minplus_power(graph.matrix(), h), exact)
+        assert verify_scaling_guarantees(exact, eta, hop_ok, 1.0, eps)
+
+    @SETTINGS
+    @given(connected_graphs(max_weight=500), st.integers(2, 5))
+    def test_scaled_weights_are_capped_integers(self, graph, h):
+        exact = exact_apsp(graph)
+        plan = plan_scaling(exact, h=h, eps=0.5)
+        for i in plan.needed[:3]:
+            scaled = build_scaled_graph(graph, i, plan)
+            assert np.all(scaled.edge_w <= plan.cap)
+            assert np.all(scaled.edge_w == np.floor(scaled.edge_w))
+            assert np.all(scaled.edge_w >= 1)
+
+
+class TestSpannerProperty:
+    @SETTINGS
+    @given(connected_graphs(), st.integers(2, 4), st.integers(0, 10_000))
+    def test_subgraph_and_stretch(self, graph, k, seed):
+        rng = np.random.default_rng(seed)
+        spanner = baswana_sengupta_spanner(graph, k, rng)
+        original = {(u, v): w for u, v, w in graph.edges()}
+        for u, v, w in spanner.edges():
+            assert original.get((u, v)) == w
+        base = exact_apsp(graph)
+        sp = exact_apsp(spanner)
+        mask = np.isfinite(base) & (base > 0)
+        assert np.all(sp[mask] <= (2 * k - 1) * base[mask] + 1e-9)
+
+
+class TestRoutingProperty:
+    @SETTINGS
+    @given(connected_graphs(max_nodes=14))
+    def test_exact_tables_route_exactly(self, graph):
+        exact = exact_apsp(graph)
+        table = next_hop_table(graph, exact)
+        n = graph.n
+        for s in range(0, n, 3):
+            for t in range(0, n, 4):
+                if s == t or not np.isfinite(exact[s, t]):
+                    continue
+                route = greedy_route(graph, exact, s, t, table=table)
+                assert route.delivered
+                assert abs(route.length - exact[s, t]) < 1e-9
+
+    @SETTINGS
+    @given(connected_graphs(max_nodes=12), st.floats(1.0, 3.0))
+    def test_approximate_tables_never_underreport(self, graph, a):
+        """Whatever greedy routing does, a *delivered* route's length is a
+        real path length, hence >= the exact distance."""
+        exact = exact_apsp(graph)
+        estimate = exact * a
+        np.fill_diagonal(estimate, 0.0)
+        n = graph.n
+        for s in range(0, n, 4):
+            for t in range(0, n, 5):
+                if s == t:
+                    continue
+                route = greedy_route(graph, estimate, s, t)
+                if route.delivered:
+                    assert route.length >= exact[s, t] - 1e-9

@@ -1,0 +1,230 @@
+"""Tests for the message-level protocols and their cross-validation.
+
+The key property: each protocol's output is *identical* to the
+corresponding global-state implementation, demonstrating that the ledger
+layer charges rounds for communication schedules that genuinely exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import SimulatedClique
+from repro.core import build_knearest_hopset, knearest_one_round, make_bin_plan
+from repro.graphs import erdos_renyi, exact_apsp, grid_graph
+from repro.protocols import (
+    elect_leader,
+    global_edge_list,
+    global_min,
+    global_sum,
+    run_bin_exchange,
+    run_distributed_bellman_ford,
+    run_hopset_protocol,
+    run_knearest_broadcast_protocol,
+    share_flags,
+)
+
+from tests.helpers import make_rng, synthetic_approximation
+
+
+class TestAggregation:
+    def test_leader_is_minimum(self):
+        clique = SimulatedClique(8, bandwidth_words=2)
+        leader, rounds = elect_leader(clique, ids=[5, 3, 9, 1, 7, 2, 8, 6])
+        assert leader == 1
+        assert rounds == 2
+
+    def test_leader_default_ids(self):
+        clique = SimulatedClique(5, bandwidth_words=2)
+        leader, _ = elect_leader(clique)
+        assert leader == 0
+
+    def test_global_min(self):
+        clique = SimulatedClique(6, bandwidth_words=2)
+        value, rounds = global_min(clique, [4.0, 2.0, 9.0, 7.0, 3.0, 5.0])
+        assert value == 2.0
+        assert rounds == 2
+
+    def test_global_sum(self):
+        clique = SimulatedClique(4, bandwidth_words=2)
+        value, _ = global_sum(clique, [1.0, 2.0, 3.0, 4.0])
+        assert value == 10.0
+
+    def test_share_flags(self):
+        clique = SimulatedClique(5, bandwidth_words=2)
+        flags = [True, False, True, True, False]
+        table, rounds = share_flags(clique, flags)
+        assert table == flags
+        assert rounds == 1
+
+    def test_arity_validation(self):
+        clique = SimulatedClique(3, bandwidth_words=2)
+        with pytest.raises(ValueError):
+            global_min(clique, [1.0])
+        with pytest.raises(ValueError):
+            share_flags(clique, [True])
+
+
+class TestHopsetProtocol:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_identical_to_global_implementation(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(20, 0.25, rng)
+        exact = exact_apsp(graph)
+        delta = synthetic_approximation(exact, 3.0, rng)
+        global_result = build_knearest_hopset(graph, delta, 3.0)
+        protocol = run_hopset_protocol(graph, delta, k=global_result.k)
+        assert set(protocol.hopset.edges()) == set(global_result.hopset.edges())
+
+    def test_round_count_constant_ish(self):
+        rng = make_rng(3)
+        graph = erdos_renyi(24, 0.2, rng)
+        exact = exact_apsp(graph)
+        protocol = run_hopset_protocol(graph, exact)
+        # three routed instances, each a measured constant
+        assert protocol.rounds <= 36
+
+    def test_shape_validation(self):
+        rng = make_rng(4)
+        graph = erdos_renyi(10, 0.3, rng)
+        with pytest.raises(ValueError):
+            run_hopset_protocol(graph, np.zeros((3, 3)))
+
+
+class TestKNearestBroadcastProtocol:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_identical_to_global_implementation(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(18, 0.3, rng)
+        k, h = 3, 2
+        protocol = run_knearest_broadcast_protocol(graph, k, h)
+        reference = knearest_one_round(graph.matrix(), k, h, validate=False)
+        assert np.array_equal(protocol.result.indices, reference.indices)
+        finite = np.isfinite(reference.values)
+        assert np.allclose(
+            protocol.result.values[finite], reference.values[finite]
+        )
+
+    def test_rounds_scale_with_k(self):
+        rng = make_rng(2)
+        graph = erdos_renyi(16, 0.4, rng)
+        small = run_knearest_broadcast_protocol(graph, 2, 2)
+        large = run_knearest_broadcast_protocol(graph, 5, 2)
+        assert large.rounds >= small.rounds
+
+
+class TestBinExchange:
+    def test_owner_receives_its_bins(self):
+        rng = make_rng(5)
+        n, k, h = 64, 8, 2
+        graph = erdos_renyi(n, 0.2, rng)
+        result = run_bin_exchange(graph, k, h)
+        edges = global_edge_list(graph, k)
+        for owner, combination in enumerate(result.assignments):
+            expected = set()
+            for bin_index in combination:
+                start = bin_index * result.plan.bin_size
+                stop = min(len(edges), start + result.plan.bin_size)
+                for source, endpoint, weight in edges[start:stop]:
+                    if np.isfinite(weight):
+                        expected.add((source, endpoint, weight))
+            assert set(result.received[owner]) == expected
+
+    def test_receive_load_linear(self):
+        rng = make_rng(6)
+        n, k, h = 64, 8, 2
+        graph = erdos_renyi(n, 0.2, rng)
+        result = run_bin_exchange(graph, k, h)
+        # Lemma 5.3: each owner learns h bins of O(n/h) edges = O(n).
+        assert result.stats.max_received_per_node <= 4 * n
+        assert result.stats.rounds <= 16
+
+    def test_path_coverage_claim(self):
+        """Lemma 5.4's structural fact: every 2-edge path of the filtered
+        graph lies inside the bins of some h-combination whose first bin
+        holds the first edge."""
+        rng = make_rng(7)
+        n, k, h = 64, 8, 2
+        graph = erdos_renyi(n, 0.2, rng)
+        result = run_bin_exchange(graph, k, h)
+        edges = global_edge_list(graph, k)
+        plan = result.plan
+        # bin index of each (position in M)
+        combos = {
+            (combo[0], frozenset(combo)) for combo in result.assignments
+        }
+        # sample some 2-edge paths u -> x -> y from the filtered lists
+        lists = [graph.k_shortest_out_edges(u, k) for u in range(n)]
+        checked = 0
+        for u in range(0, n, 7):
+            for x, _ in lists[u][:2]:
+                for y, _ in lists[x][:2]:
+                    first_positions = [
+                        u * k + j for j, (e, _) in enumerate(lists[u]) if e == x
+                    ]
+                    second_positions = [
+                        x * k + j for j, (e, _) in enumerate(lists[x]) if e == y
+                    ]
+                    found = False
+                    for p1 in first_positions:
+                        for p2 in second_positions:
+                            b1 = plan.bin_of_global_index(p1)
+                            b2 = plan.bin_of_global_index(p2)
+                            if b1 == b2:
+                                continue  # needs distinct bins
+                            if (b1, frozenset((b1, b2))) in combos:
+                                found = True
+                    if first_positions and second_positions:
+                        # distinct-bin requirement can fail only when both
+                        # edges share a bin; then a combination with that
+                        # bin first also covers the path (same owner holds
+                        # both edges).
+                        same_bin = any(
+                            plan.bin_of_global_index(p1)
+                            == plan.bin_of_global_index(p2)
+                            for p1 in first_positions
+                            for p2 in second_positions
+                        )
+                        assert found or same_bin
+                        checked += 1
+        assert checked > 0
+
+    def test_trivial_plan_rejected(self):
+        rng = make_rng(8)
+        graph = erdos_renyi(16, 0.4, rng)
+        with pytest.raises(ValueError):
+            run_bin_exchange(graph, 1, 8)
+
+
+class TestDistributedBellmanFord:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_exact_convergence(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(12, 0.35, rng)
+        run = run_distributed_bellman_ford(graph)
+        assert np.allclose(run.estimate, exact_apsp(graph))
+
+    def test_grid_convergence(self):
+        rng = make_rng(2)
+        graph = grid_graph(3, rng)
+        run = run_distributed_bellman_ford(graph, horizon_factor=4)
+        assert np.allclose(run.estimate, exact_apsp(graph))
+
+    def test_rounds_grow_with_hop_diameter(self):
+        """The contrast with the paper: gossip rounds track the diameter."""
+        from repro.graphs import WeightedGraph
+
+        short = WeightedGraph(8, [(i, j, 1) for i in range(8) for j in range(i + 1, 8)])
+        path = WeightedGraph(8, [(i, i + 1, 1) for i in range(7)])
+        short_run = run_distributed_bellman_ford(short)
+        path_run = run_distributed_bellman_ford(path, horizon_factor=4)
+        assert np.allclose(path_run.estimate, exact_apsp(path))
+        assert np.allclose(short_run.estimate, exact_apsp(short))
+
+    def test_directed_rejected(self):
+        from repro.graphs import WeightedGraph
+
+        graph = WeightedGraph(3, [(0, 1, 1)], directed=True)
+        with pytest.raises(ValueError):
+            run_distributed_bellman_ford(graph)

@@ -1,0 +1,97 @@
+"""Tests for the message-level skeleton x/y protocol (Lemma 6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_hitting_set, skeleton_xy_matrices
+from repro.graphs import erdos_renyi, exact_apsp, grid_graph
+from repro.protocols import run_skeleton_xy_protocol
+from repro.semiring import k_smallest_in_rows
+
+from tests.helpers import make_rng
+
+
+def centers_from_tables(idx, val, n, k, rng):
+    """Replicate build_skeleton's center selection for a standalone test."""
+    members = build_hitting_set(idx, n, k, rng)
+    size = len(members)
+    compact = np.full(n, -1, dtype=np.int64)
+    compact[members] = np.arange(size)
+    in_s = np.zeros(n, dtype=bool)
+    in_s[members] = True
+    mask = np.where(idx >= 0, in_s[idx], False)
+    first = mask.argmax(axis=1)
+    center = compact[idx[np.arange(n), first]]
+    center_delta = val[np.arange(n), first]
+    return center, center_delta, size
+
+
+def masked(matrix):
+    return np.where(np.isfinite(matrix), matrix, -1.0)
+
+
+class TestSkeletonXYProtocol:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_global_computation(self, seed):
+        rng = make_rng(seed)
+        n, k = 28, 5
+        graph = erdos_renyi(n, 0.2, rng)
+        exact = exact_apsp(graph)
+        idx, val = k_smallest_in_rows(exact, k)
+        center, center_delta, size = centers_from_tables(idx, val, n, k, rng)
+        x_ref, y_ref = skeleton_xy_matrices(
+            graph, idx, val, center, center_delta, size
+        )
+        protocol = run_skeleton_xy_protocol(
+            graph, idx, val, center, center_delta, size
+        )
+        assert np.allclose(masked(protocol.x), masked(x_ref))
+        assert np.allclose(masked(protocol.y), masked(y_ref))
+
+    def test_grid_workload(self):
+        rng = make_rng(3)
+        graph = grid_graph(5, rng)
+        n, k = graph.n, 4
+        exact = exact_apsp(graph)
+        idx, val = k_smallest_in_rows(exact, k)
+        center, center_delta, size = centers_from_tables(idx, val, n, k, rng)
+        x_ref, y_ref = skeleton_xy_matrices(
+            graph, idx, val, center, center_delta, size
+        )
+        protocol = run_skeleton_xy_protocol(
+            graph, idx, val, center, center_delta, size
+        )
+        assert np.allclose(masked(protocol.x), masked(x_ref))
+        assert np.allclose(masked(protocol.y), masked(y_ref))
+
+    def test_rounds_constant_ish(self):
+        rng = make_rng(4)
+        graph = erdos_renyi(32, 0.15, rng)
+        n, k = graph.n, 5
+        exact = exact_apsp(graph)
+        idx, val = k_smallest_in_rows(exact, k)
+        center, center_delta, size = centers_from_tables(idx, val, n, k, rng)
+        protocol = run_skeleton_xy_protocol(
+            graph, idx, val, center, center_delta, size
+        )
+        total = (
+            protocol.x_stats.rounds
+            + protocol.y_stats.rounds
+            + protocol.report_stats.rounds
+        )
+        assert total <= 36
+
+    def test_receive_loads_linear(self):
+        rng = make_rng(5)
+        graph = erdos_renyi(40, 0.2, rng)
+        n, k = graph.n, 6
+        exact = exact_apsp(graph)
+        idx, val = k_smallest_in_rows(exact, k)
+        center, center_delta, size = centers_from_tables(idx, val, n, k, rng)
+        protocol = run_skeleton_xy_protocol(
+            graph, idx, val, center, center_delta, size
+        )
+        for stats in (protocol.x_stats, protocol.y_stats, protocol.report_stats):
+            assert stats.max_received_per_node <= 32 * n

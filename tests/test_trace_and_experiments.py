@@ -1,0 +1,140 @@
+"""Tests for simulator tracing and the seed-sweep experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_sweep
+from repro.cclique import (
+    Message,
+    SimulatedClique,
+    TraceRecorder,
+    traced_drain,
+)
+from repro.core.results import Estimate
+from repro.graphs import erdos_renyi, exact_apsp
+
+from tests.helpers import make_rng
+
+
+class TestTraceRecorder:
+    def test_snapshots_capture_deltas(self):
+        clique = SimulatedClique(4, bandwidth_words=2)
+        recorder = TraceRecorder(clique)
+        clique.send(Message(0, 1, (1,)))
+        clique.send(Message(2, 3, (2,)))
+        clique.step()
+        snap = recorder.snapshot()
+        assert snap.messages_delivered == 2
+        clique.step()
+        snap = recorder.snapshot()
+        assert snap.messages_delivered == 0
+        assert recorder.total_messages == 2
+
+    def test_traced_drain(self):
+        clique = SimulatedClique(4, bandwidth_words=2, strict=False)
+        for i in range(3):
+            clique.send(Message(0, 1, (i,)))
+        recorder = traced_drain(clique)
+        assert recorder.rounds == 3
+        assert recorder.total_messages == 3
+        peak = recorder.peak_round()
+        assert peak is not None and peak.messages_delivered == 1
+
+    def test_timeline_render(self):
+        clique = SimulatedClique(4, bandwidth_words=2, strict=False)
+        for i in range(2):
+            clique.send(Message(0, 1, (i,)))
+        recorder = traced_drain(clique)
+        art = recorder.timeline(width=10)
+        assert "round" in art
+        assert "#" in art
+
+    def test_empty_timeline(self):
+        clique = SimulatedClique(2)
+        recorder = TraceRecorder(clique)
+        assert "no rounds" in recorder.timeline()
+        assert recorder.peak_round() is None
+
+
+class TestSweepRunner:
+    @staticmethod
+    def exact_algorithm(graph, rng, ledger):
+        if ledger is not None:
+            ledger.charge(5, "exact")
+        return Estimate(estimate=exact_apsp(graph), factor=1.0)
+
+    def test_sweep_aggregates(self):
+        workloads = {
+            "er-16": lambda rng: erdos_renyi(16, 0.3, rng),
+            "er-24": lambda rng: erdos_renyi(24, 0.2, rng),
+        }
+        result = run_sweep(self.exact_algorithm, workloads, seeds=[0, 1, 2])
+        assert len(result.cases) == 6
+        assert len(result.summaries) == 2
+        for summary in result.summaries:
+            assert summary.runs == 3
+            assert summary.max_stretch_worst == pytest.approx(1.0)
+            assert summary.rounds_mean == pytest.approx(5.0)
+            assert summary.all_sound
+
+    def test_sweep_table_renders(self):
+        workloads = {"er": lambda rng: erdos_renyi(16, 0.3, rng)}
+        result = run_sweep(self.exact_algorithm, workloads, seeds=[0])
+        table = result.table("demo")
+        assert "demo" in table
+        assert "er" in table
+
+    def test_sweep_fails_loudly_on_violation(self):
+        def broken(graph, rng, ledger):
+            bad = exact_apsp(graph) * 0.5  # underestimates
+            np.fill_diagonal(bad, 0.0)
+            return Estimate(estimate=bad, factor=1.0)
+
+        workloads = {"er": lambda rng: erdos_renyi(16, 0.3, rng)}
+        with pytest.raises(AssertionError):
+            run_sweep(broken, workloads, seeds=[0])
+
+    def test_sweep_fails_on_factor_violation(self):
+        def overstretched(graph, rng, ledger):
+            est = exact_apsp(graph) * 3.0  # valid 3-approx mislabeled as 2
+            np.fill_diagonal(est, 0.0)
+            return Estimate(estimate=est, factor=2.0)
+
+        workloads = {"er": lambda rng: erdos_renyi(16, 0.3, rng)}
+        with pytest.raises(AssertionError):
+            run_sweep(overstretched, workloads, seeds=[0])
+
+
+class TestZeroWeightProtocol:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_global_implementation(self, seed):
+        from repro.core import compress_zero_components
+        from repro.graphs import clustered_zero_weight_graph
+        from repro.protocols import run_zero_weight_protocol
+
+        rng = make_rng(seed)
+        graph = clustered_zero_weight_graph(4, 6, rng)
+        leader_g, leaders_g, compressed_g = compress_zero_components(graph)
+        protocol = run_zero_weight_protocol(graph)
+        assert np.array_equal(protocol.leader, leader_g)
+        assert np.array_equal(protocol.leaders, leaders_g)
+        assert set(protocol.compressed.edges()) == set(compressed_g.edges())
+
+    def test_rounds_constant(self):
+        from repro.graphs import clustered_zero_weight_graph
+        from repro.protocols import run_zero_weight_protocol
+
+        rng = make_rng(3)
+        graph = clustered_zero_weight_graph(6, 8, rng)
+        protocol = run_zero_weight_protocol(graph)
+        assert protocol.broadcast_rounds + protocol.exchange_stats.rounds <= 14
+
+    def test_directed_rejected(self):
+        from repro.graphs import WeightedGraph
+        from repro.protocols import run_zero_weight_protocol
+
+        graph = WeightedGraph(2, [(0, 1, 0)], directed=True, require_positive=False)
+        with pytest.raises(ValueError):
+            run_zero_weight_protocol(graph)
