@@ -1,6 +1,7 @@
 """E8 — The rounds/stretch frontier (Section 1.1 landscape).
 
-One table, one workload, four algorithms:
+One table, one workload, every variant in the solver registry — the
+landscape corners plus the paper's algorithms:
 
 * exact min-plus exponentiation  — stretch 1,   ~n^(1/3) log n rounds;
 * UY90 sampled skeleton          — stretch 1,   ~sqrt(n)-ish rounds;
@@ -17,62 +18,36 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import spanner_only_baseline
 from repro.analysis import emit, format_table
-from repro.cclique import RoundLedger
-from repro.core import (
-    apsp_small_diameter,
-    apsp_theorem11,
-    exact_apsp_baseline,
-    spanner_only_baseline,
-    uy90_baseline,
-)
 from repro.graphs import check_estimate
 
-from conftest import exact_for, rng_for, workload
+from conftest import exact_for, registered_variants, rng_for, run_registered, workload
 
 N = 96
 
 
 def run_all(n: int):
+    """Every registered variant on the E8 workload (registry-driven)."""
     graph = workload("er", n)
     exact = exact_for("er", n)
-    cases = []
-
-    ledger = RoundLedger(n)
-    result = exact_apsp_baseline(graph, ledger=ledger)
-    cases.append(("exact matmul [CKK+19]", result, ledger))
-
-    ledger = RoundLedger(n)
-    result = uy90_baseline(graph, rng_for(f"e8uy:{n}"), ledger=ledger)
-    cases.append(("UY90 skeleton", result, ledger))
-
-    ledger = RoundLedger(n)
-    result = spanner_only_baseline(graph, rng_for(f"e8sp:{n}"), ledger=ledger)
-    cases.append(("spanner-only [CZ22]", result, ledger))
-
-    ledger = RoundLedger(n)
-    result = apsp_small_diameter(graph, rng_for(f"e8t71:{n}"), ledger=ledger)
-    cases.append(("this paper (Thm 7.1)", result, ledger))
-
-    ledger = RoundLedger(n)
-    result = apsp_theorem11(graph, rng_for(f"e8t11:{n}"), ledger=ledger)
-    cases.append(("this paper (Thm 1.1)", result, ledger))
 
     rows = []
     by_name = {}
-    for name, result, ledger in cases:
+    for spec in registered_variants():
+        result, ledger = run_registered(spec.name, graph, f"e8:{spec.name}:{n}")
         report = check_estimate(exact, result.estimate)
-        assert report.sound, name
+        assert report.sound, spec.name
         rows.append(
             (
-                name,
+                spec.display_name,
                 ledger.total_rounds,
                 round(result.factor, 1),
                 round(report.max_stretch, 3),
                 round(report.mean_stretch, 3),
             )
         )
-        by_name[name] = (ledger.total_rounds, result.factor, report.max_stretch)
+        by_name[spec.name] = (ledger.total_rounds, result.factor, report.max_stretch)
     return rows, by_name
 
 
@@ -86,10 +61,10 @@ def test_frontier_table(results_sink, benchmark):
     emit(table, sink_path=results_sink)
 
     # The paper's claims about who wins:
-    exact_rounds = by_name["exact matmul [CKK+19]"][0]
-    ours_rounds = by_name["this paper (Thm 7.1)"][0]
-    ours_factor = by_name["this paper (Thm 7.1)"][1]
-    spanner_factor = by_name["spanner-only [CZ22]"][1]
+    exact_rounds = by_name["exact"][0]
+    ours_rounds = by_name["small-diameter"][0]
+    ours_factor = by_name["small-diameter"][1]
+    spanner_factor = by_name["spanner-only"][1]
     # 1. constant guaranteed factor, unlike the spanner baseline's O(log n)
     #    (at n=96 both constants are small; assert ours <= 21 always).
     assert ours_factor <= 21.0
@@ -104,6 +79,18 @@ def test_frontier_table(results_sink, benchmark):
     )
 
 
+def test_variant_kernel(variant_name, benchmark):
+    """One timed kernel per registered variant (registry-parametrized) —
+    new algorithms get a perf baseline the moment they register."""
+    graph = workload("er", 48)
+    result, _ = benchmark.pedantic(
+        lambda: run_registered(variant_name, graph, f"e8kernel:{variant_name}"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.meta["variant"] == variant_name
+
+
 def test_asymptotic_projection(results_sink, benchmark):
     """Where the crossover falls: project each algorithm's round formula to
     large n (measured constants x the cited growth terms).
@@ -114,7 +101,7 @@ def test_asymptotic_projection(results_sink, benchmark):
     """
     import math
 
-    measured_ours = run_all(96)[1]["this paper (Thm 7.1)"][0]
+    measured_ours = run_all(96)[1]["small-diameter"][0]
     rows = []
     for n in (96, 10**4, 10**6, 10**9):
         exact_rounds = math.ceil(math.log2(n)) * math.ceil(n ** (1 / 3))
@@ -143,8 +130,8 @@ def test_crossover_with_n(results_sink, benchmark):
     gaps = []
     for n in (48, 96, 144):
         _, by_name = run_all(n)
-        gap = by_name["exact matmul [CKK+19]"][0] / max(
-            1, by_name["this paper (Thm 7.1)"][0]
+        gap = by_name["exact"][0] / max(
+            1, by_name["small-diameter"][0]
         )
         gaps.append((n, round(gap, 3)))
     table = format_table(

@@ -19,6 +19,8 @@ from typing import Dict, List, Tuple
 import numpy as np
 import pytest
 
+from repro.cclique import RoundLedger
+from repro.core.registry import VariantSpec, iter_variants, run_variant
 from repro.graphs import (
     WeightedGraph,
     erdos_renyi,
@@ -52,6 +54,31 @@ def results_sink() -> str:
 
 def rng_for(tag: str) -> np.random.Generator:
     return np.random.default_rng(abs(hash(tag)) % (2**32))
+
+
+def registered_variants() -> List[VariantSpec]:
+    """The solver catalogue, in registration order (registry-driven)."""
+    return list(iter_variants())
+
+
+def run_registered(name: str, graph: WeightedGraph, tag: str, **params):
+    """Run one registered variant on a fresh ledger; returns (result, ledger).
+
+    The shared entry point for benchmarks that enumerate the registry:
+    default parameters declared by the variant (thm 1.2's ``t``) are
+    applied, explicit ``params`` win.
+    """
+    ledger = RoundLedger(graph.n)
+    result = run_variant(
+        name, graph, rng_for(tag), ledger=ledger, apply_defaults=True, **params
+    )
+    return result, ledger
+
+
+@pytest.fixture(params=[spec.name for spec in iter_variants()])
+def variant_name(request) -> str:
+    """Parametrized fixture iterating every registered variant name."""
+    return request.param
 
 
 _EXACT_CACHE: Dict[str, np.ndarray] = {}

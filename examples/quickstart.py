@@ -1,12 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: approximate APSP in the Congested Clique, end to end.
+"""Quickstart: the unified solver facade, end to end.
 
-Builds a random weighted graph, runs the paper's headline algorithm
-(Theorem 1.1), and reports:
+Builds a small batch of random weighted graphs, solves them concurrently
+with :class:`repro.ApspSolver` (the paper's headline Theorem 1.1
+algorithm), and reports per graph:
 
 * the guaranteed approximation factor (7^4 + eps — loose by design),
-* the *measured* stretch against exact distances (typically < 5),
-* the Congested Clique round count from the ledger, phase by phase.
+* the *measured* stretch certificate (typically < 5),
+* the Congested Clique round count and the wall-clock time,
+
+then shows the JSON payload a downstream service would consume, and the
+legacy one-call API for comparison.
 
 Run:  python examples/quickstart.py [n]
 """
@@ -17,35 +21,46 @@ import sys
 
 import numpy as np
 
-from repro import approximate_apsp, erdos_renyi, exact_apsp
-from repro.analysis import stretch_profile, summarize_stretch
+from repro import ApspSolver, SolverConfig, approximate_apsp, erdos_renyi
 
 
 def main(n: int = 96) -> None:
-    rng = np.random.default_rng(2024)
-    graph = erdos_renyi(n, 8.0 / n, rng)
-    print(f"input: {graph}")
+    graph_rng = np.random.default_rng(2024)
+    graphs = [erdos_renyi(n, 8.0 / n, graph_rng) for _ in range(3)]
+    print(f"inputs: {graphs}")
 
-    result = approximate_apsp(graph, rng=rng, variant="theorem11")
-    ledger = result.meta["ledger"]
+    # One config, any number of graphs.  validation="stretch" attaches a
+    # measured-stretch certificate (computed against exact distances).
+    config = SolverConfig(variant="theorem11", seed=0, validation="stretch")
+    solver = ApspSolver(config)
+    results = solver.solve_many(graphs)  # concurrent, deterministic per seed
 
-    exact = exact_apsp(graph)
-    profile = stretch_profile(exact, result.estimate, result.factor)
-    print(f"guaranteed factor : {result.factor:.1f}  (7^4 (1+eps)^2)")
-    print(f"measured stretch  : {summarize_stretch(profile)}")
-    print(f"ledger rounds     : {ledger.total_rounds}")
-    print()
-    print("rounds by phase:")
-    for phase, rounds in sorted(ledger.rounds_by_phase().items()):
+    print(f"\nvariant: {config.variant}  ({config.spec.summary})")
+    print("graph  factor  measured  rounds  wall[s]")
+    for i, result in enumerate(results):
+        print(
+            f"  g{i}   {result.factor:7.1f} "
+            f"{result.stretch.max_stretch:9.3f} "
+            f"{result.total_rounds:7d} {result.wall_time_s:8.3f}"
+        )
+
+    # Round breakdown for the first graph, phase by phase.
+    print("\nrounds by phase (g0):")
+    for phase, rounds in sorted(results[0].ledger.rounds_by_phase().items()):
         print(f"  {phase:<45} {rounds:>5}")
 
-    # Distances are a plain numpy matrix — use them like any APSP oracle.
-    u, v = 0, n // 2
-    print()
-    print(
-        f"d({u}, {v}) = {exact[u, v]:.0f} exact, "
-        f"{result.estimate[u, v]:.0f} estimated"
-    )
+    # Results serialize for downstream services (inf encoded as null);
+    # ``summary()`` drops the O(n^2) matrix, ``to_json()`` keeps it.
+    summary = results[0].summary()
+    print(f"\nJSON summary keys : {sorted(summary)}")
+    print(f"serialized size   : {len(results[0].to_json())} bytes")
+
+    # Back-compat path: the legacy one-call API, equivalent to stream 0 of
+    # the batch above when given the same RNG stream.
+    legacy = approximate_apsp(graphs[0], rng=config.rng_for(0))
+    assert np.array_equal(legacy.estimate, results[0].estimate)
+    print(f"\nlegacy approximate_apsp matches the facade: factor "
+          f"{legacy.factor:.1f}, {legacy.meta['ledger'].total_rounds} rounds")
 
 
 if __name__ == "__main__":

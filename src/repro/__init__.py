@@ -1,31 +1,54 @@
 """repro — reproduction of "Improved All-Pairs Approximate Shortest Paths in
 Congested Clique" (Bui, Chandra, Chang, Dory, Leitersdorf; PODC 2024).
 
-Quickstart::
+Quickstart — the unified solver facade::
 
     import numpy as np
-    from repro import approximate_apsp, erdos_renyi
+    from repro import ApspSolver, SolverConfig, erdos_renyi
 
     rng = np.random.default_rng(0)
-    graph = erdos_renyi(128, 0.05, rng)
-    result = approximate_apsp(graph, rng=rng)
-    print(result.factor)                    # guaranteed approximation factor
-    print(result.meta["ledger"].total_rounds)  # Congested Clique rounds
+    graphs = [erdos_renyi(128, 0.05, rng) for _ in range(3)]
+
+    solver = ApspSolver(SolverConfig(variant="theorem11", seed=0,
+                                     validation="stretch"))
+    results = solver.solve_many(graphs)        # concurrent batch execution
+    for r in results:
+        print(r.factor,                        # guaranteed factor
+              r.stretch.max_stretch,           # measured-stretch certificate
+              r.total_rounds,                  # Congested Clique rounds
+              r.wall_time_s)
+    payload = results[0].to_json()             # ship to downstream services
+
+Every algorithm (Theorem 1.1, the Theorem 1.2 tradeoff, Theorem 7.1,
+Theorem 8.1, and the exact/UY90/spanner baselines) lives in one variant
+registry (:mod:`repro.core.registry`); ``SolverConfig(variant=...)``
+selects by name and adding an algorithm is a one-decorator change.
+
+Back-compat path — the legacy convenience function::
+
+    from repro import approximate_apsp
+
+    result = approximate_apsp(graphs[0], rng=np.random.default_rng(0))
+    print(result.factor, result.meta["ledger"].total_rounds)
 
 Package layout (see DESIGN.md):
 
+* :mod:`repro.api` — the :class:`ApspSolver` facade, configs, results,
 * :mod:`repro.cclique` — Congested Clique simulator + round accounting,
 * :mod:`repro.graphs` — graph containers, generators, exact distances,
 * :mod:`repro.semiring` — min-plus algebra, filtered matrix powers,
 * :mod:`repro.spanners` — spanner constructions (Lemma 7.1),
 * :mod:`repro.mst` — Borůvka engine for the zero-weight reduction,
-* :mod:`repro.core` — the paper's algorithms (Sections 4–8),
+* :mod:`repro.core` — the paper's algorithms (Sections 4–8) + the
+  variant registry,
 * :mod:`repro.analysis` — stretch profiles and experiment tables.
 """
 
+from .api import ApspResult, ApspSolver, SolverConfig
 from .cclique import RoundLedger, SimulatedClique
 from .core import (
     Estimate,
+    VariantSpec,
     approximate_apsp,
     apsp_large_bandwidth,
     apsp_small_diameter,
@@ -34,12 +57,17 @@ from .core import (
     build_knearest_hopset,
     build_skeleton,
     exact_apsp_baseline,
+    get_variant,
+    iter_variants,
     knearest_exact_via_hopset,
     knearest_iterated,
     lift_zero_weights,
     reduce_approximation,
+    register_variant,
+    run_variant,
     spanner_only_baseline,
     uy90_baseline,
+    variant_names,
 )
 from .graphs import (
     WeightedGraph,
@@ -50,12 +78,16 @@ from .graphs import (
     preferential_attachment,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ApspResult",
+    "ApspSolver",
     "Estimate",
     "RoundLedger",
     "SimulatedClique",
+    "SolverConfig",
+    "VariantSpec",
     "WeightedGraph",
     "approximate_apsp",
     "apsp_large_bandwidth",
@@ -67,14 +99,19 @@ __all__ = [
     "erdos_renyi",
     "exact_apsp",
     "exact_apsp_baseline",
+    "get_variant",
     "grid_graph",
+    "iter_variants",
     "knearest_exact_via_hopset",
     "knearest_iterated",
     "lift_zero_weights",
     "path_with_shortcuts",
     "preferential_attachment",
     "reduce_approximation",
+    "register_variant",
+    "run_variant",
     "spanner_only_baseline",
     "uy90_baseline",
+    "variant_names",
     "__version__",
 ]

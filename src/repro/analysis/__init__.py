@@ -1,6 +1,13 @@
 """Analysis helpers: stretch profiles, experiment sweeps, table rendering."""
 
-from .experiments import SweepCase, SweepResult, SweepSummary, run_sweep
+from .experiments import (
+    SweepCase,
+    SweepResult,
+    SweepSummary,
+    registry_algorithms,
+    run_registry_sweep,
+    run_sweep,
+)
 from .reporting import emit, format_table, results_path
 from .stretch import StretchProfile, stretch_profile, summarize_stretch
 
@@ -11,7 +18,9 @@ __all__ = [
     "SweepSummary",
     "emit",
     "format_table",
+    "registry_algorithms",
     "results_path",
+    "run_registry_sweep",
     "run_sweep",
     "stretch_profile",
     "summarize_stretch",

@@ -4,6 +4,11 @@ The paper's randomized guarantees hold w.h.p.; a reproduction should
 therefore report *distributions* over seeds, not single runs.  The runner
 executes one algorithm across (workload x seed) grids and aggregates
 stretch and round statistics into the repo's table format.
+
+Algorithms come either as raw callables (:func:`run_sweep`) or by variant
+name from the registry (:func:`registry_algorithms`,
+:func:`run_registry_sweep`) — the latter is how experiments stay in sync
+with the solver catalogue without hardcoded dispatch.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cclique.accounting import RoundLedger
+from ..core.registry import get_variant, iter_variants, run_variant
 from ..core.results import Estimate
 from ..graphs.distances import exact_apsp
 from ..graphs.graph import WeightedGraph
@@ -93,6 +99,57 @@ class SweepResult:
             rows,
             title=title,
         )
+
+
+def registry_algorithms(
+    variants: Optional[Sequence[str]] = None,
+    **params: object,
+) -> Dict[str, Algorithm]:
+    """Algorithm callables for registered variants, keyed by variant name.
+
+    Enumerates the variant registry (no hardcoded dispatch): every
+    registered algorithm — or the requested subset — is wrapped into the
+    runner's uniform ``(graph, rng, ledger) -> Estimate`` signature, with
+    the variant's declared default parameters (e.g. thm 1.2's ``t=2``)
+    merged under any explicit ``params``.
+    """
+    requested = None
+    if variants is not None:
+        requested = list(variants)
+        for name in requested:
+            get_variant(name)  # fail fast on unknown names
+    algorithms: Dict[str, Algorithm] = {}
+    for spec in iter_variants():
+        if requested is not None and spec.name not in requested:
+            continue
+
+        def algorithm(
+            graph: WeightedGraph,
+            rng: np.random.Generator,
+            ledger: Optional[RoundLedger],
+            _name: str = spec.name,
+            _params: Dict[str, object] = dict(params),
+        ) -> Estimate:
+            return run_variant(
+                _name, graph, rng=rng, ledger=ledger, apply_defaults=True, **_params
+            )
+
+        algorithms[spec.name] = algorithm
+    return algorithms
+
+
+def run_registry_sweep(
+    workloads: Dict[str, Workload],
+    seeds: Sequence[int],
+    variants: Optional[Sequence[str]] = None,
+    clique_n_hint: Optional[int] = None,
+    **params: object,
+) -> Dict[str, "SweepResult"]:
+    """One :func:`run_sweep` per registered variant (or requested subset)."""
+    return {
+        name: run_sweep(algorithm, workloads, seeds, clique_n_hint=clique_n_hint)
+        for name, algorithm in registry_algorithms(variants, **params).items()
+    }
 
 
 def run_sweep(

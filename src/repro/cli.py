@@ -32,14 +32,7 @@ import numpy as np
 
 from .analysis import format_table, stretch_profile, summarize_stretch
 from .cclique import Message, RoundLedger, route_two_phase
-from .core import (
-    apsp_small_diameter,
-    apsp_theorem11,
-    apsp_tradeoff,
-    exact_apsp_baseline,
-    spanner_only_baseline,
-    uy90_baseline,
-)
+from .core import iter_variants, run_variant, variant_names
 from .graphs import (
     WeightedGraph,
     check_estimate,
@@ -91,14 +84,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     graph = build_workload(args.family, args.n, rng)
     exact = exact_apsp(graph)
     ledger = RoundLedger(graph.n)
-    if args.variant == "theorem11":
-        result = apsp_theorem11(graph, rng, ledger=ledger)
-    elif args.variant == "small-diameter":
-        result = apsp_small_diameter(graph, rng, ledger=ledger)
-    elif args.variant == "tradeoff":
-        result = apsp_tradeoff(graph, args.t, rng, ledger=ledger)
-    else:
-        result = exact_apsp_baseline(graph, ledger=ledger)
+    # Registry dispatch: ``t`` is dropped for variants that don't take it.
+    result = run_variant(args.variant, graph, rng=rng, ledger=ledger, t=args.t)
     profile = stretch_profile(exact, result.estimate, result.factor)
     print(f"graph   : {graph}")
     print(f"variant : {args.variant}")
@@ -116,20 +103,17 @@ def cmd_frontier(args: argparse.Namespace) -> int:
     graph = build_workload(args.family, args.n, rng)
     exact = exact_apsp(graph)
     rows = []
-    algorithms = [
-        ("exact matmul", lambda led: exact_apsp_baseline(graph, ledger=led)),
-        ("UY90", lambda led: uy90_baseline(graph, rng, ledger=led)),
-        ("spanner-only", lambda led: spanner_only_baseline(graph, rng, ledger=led)),
-        ("thm 7.1", lambda led: apsp_small_diameter(graph, rng, ledger=led)),
-        ("thm 1.1", lambda led: apsp_theorem11(graph, rng, ledger=led)),
-    ]
-    for name, runner in algorithms:
+    # Every registered variant, in registration order; variants with
+    # required parameters (thm 1.2's t) run at their declared defaults.
+    for spec in iter_variants():
         ledger = RoundLedger(graph.n)
-        result = runner(ledger)
+        result = run_variant(
+            spec.name, graph, rng=rng, ledger=ledger, apply_defaults=True
+        )
         report = check_estimate(exact, result.estimate)
         rows.append(
             (
-                name,
+                spec.display_name,
                 ledger.total_rounds,
                 round(result.factor, 1),
                 round(report.max_stretch, 3),
@@ -152,7 +136,7 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
     rows = []
     for t in range(1, args.max_t + 1):
         ledger = RoundLedger(graph.n)
-        result = apsp_tradeoff(graph, t, rng, ledger=ledger)
+        result = run_variant("tradeoff", graph, rng=rng, ledger=ledger, t=t)
         report = check_estimate(exact, result.estimate)
         rows.append(
             (
@@ -203,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common_arguments(run_parser)
     run_parser.add_argument(
         "--variant",
-        choices=("theorem11", "small-diameter", "tradeoff", "exact"),
+        choices=variant_names(),
         default="theorem11",
     )
     run_parser.add_argument("--t", type=int, default=2, help="tradeoff parameter")

@@ -14,6 +14,14 @@ from .knearest import (
 )
 from .large_bandwidth import apsp_large_bandwidth, scaled_bandwidth_words
 from .params import ReductionPlan, plan_reduction
+from .registry import (
+    VariantSpec,
+    get_variant,
+    iter_variants,
+    register_variant,
+    run_variant,
+    variant_names,
+)
 from .results import Estimate
 from .skeleton import (
     skeleton_xy_matrices,
@@ -50,6 +58,7 @@ __all__ = [
     "ScalingPlan",
     "Skeleton",
     "SkeletonError",
+    "VariantSpec",
     "approximate_apsp",
     "apsp_large_bandwidth",
     "apsp_round_limited",
@@ -66,6 +75,8 @@ __all__ = [
     "exact_apsp_baseline",
     "exact_fallback",
     "extend_estimate",
+    "get_variant",
+    "iter_variants",
     "knearest_exact_via_hopset",
     "knearest_iterated",
     "knearest_one_round",
@@ -74,6 +85,8 @@ __all__ = [
     "plan_reduction",
     "plan_scaling",
     "reduce_approximation",
+    "register_variant",
+    "run_variant",
     "scaled_bandwidth_words",
     "simulation_bandwidth_words",
     "skeleton_xy_matrices",
@@ -81,6 +94,7 @@ __all__ = [
     "spanner_only_baseline",
     "tradeoff_factor_bound",
     "uy90_baseline",
+    "variant_names",
     "verify_scaling_guarantees",
     "verify_skeleton_conditions",
 ]

@@ -35,7 +35,7 @@ from .knearest import knearest_iterated
 from .large_bandwidth import apsp_large_bandwidth
 from .results import Estimate
 from .skeleton import build_skeleton, extend_estimate
-from .small_diameter import apsp_round_limited, apsp_small_diameter, exact_fallback
+from .small_diameter import apsp_round_limited, exact_fallback
 
 
 def simulation_bandwidth_words(n: int, skeleton_nodes: int) -> int:
@@ -155,7 +155,12 @@ def approximate_apsp(
     eps: float = 0.1,
     ledger: Optional[RoundLedger] = None,
 ) -> Estimate:
-    """Approximate APSP on a weighted undirected graph — the main API.
+    """Approximate APSP on a weighted undirected graph — the legacy API.
+
+    This is a thin back-compat wrapper over the variant registry
+    (:mod:`repro.core.registry`); prefer :class:`repro.api.ApspSolver` for
+    new code — it adds typed configuration, batch execution, timing, and
+    JSON-serializable results.
 
     Parameters
     ----------
@@ -166,13 +171,12 @@ def approximate_apsp(
         Randomness source (fresh default generator if omitted — pass one
         for reproducibility).
     variant:
-        * ``"theorem11"`` — the headline ``O(1)``-approximation,
-          ``O(log log log n)`` rounds (Theorem 1.1);
-        * ``"small-diameter"`` — the Theorem 7.1 pipeline (21-approx path),
-          appropriate when the weighted diameter is polylogarithmic;
-        * ``"tradeoff"`` — Theorem 1.2 with parameter ``t``
-          (``O(log^{2^-t} n)``-approximation in O(t) rounds);
-        * ``"exact"`` — exact APSP baseline (for comparisons).
+        Any registered variant name (``repro.core.registry.variant_names()``).
+        The built-ins include ``"theorem11"`` (the headline Theorem 1.1
+        O(1)-approximation), ``"small-diameter"`` (Theorem 7.1),
+        ``"tradeoff"`` (Theorem 1.2, requires ``t``), ``"exact"``,
+        ``"uy90"``, ``"spanner-only"``, and ``"large-bandwidth"``
+        (Theorem 8.1).
     t:
         Tradeoff parameter (required iff ``variant="tradeoff"``).
     eps:
@@ -181,34 +185,6 @@ def approximate_apsp(
         Optional round ledger; created automatically when omitted and
         attached to the result's ``meta["ledger"]``.
     """
-    rng = rng or np.random.default_rng()
-    if ledger is None:
-        ledger = RoundLedger(graph.n)
-    if graph.num_edges and float(graph.edge_w.min()) == 0.0:
-        from .zero_weights import lift_zero_weights
+    from .registry import run_variant
 
-        def positive_solver(g: WeightedGraph) -> Estimate:
-            return approximate_apsp(
-                g, rng=rng, variant=variant, t=t, eps=eps, ledger=ledger
-            )
-
-        result = lift_zero_weights(graph, positive_solver, ledger=ledger)
-        result.meta["ledger"] = ledger
-        return result
-
-    if variant == "theorem11":
-        result = apsp_theorem11(graph, rng, ledger=ledger, eps=eps)
-    elif variant == "small-diameter":
-        result = apsp_small_diameter(graph, rng, ledger=ledger)
-    elif variant == "tradeoff":
-        if t is None:
-            raise ValueError("variant='tradeoff' requires the parameter t")
-        result = apsp_theorem11(graph, rng, ledger=ledger, eps=eps, tradeoff_t=t)
-    elif variant == "exact":
-        from .baselines import exact_apsp_baseline
-
-        result = exact_apsp_baseline(graph, ledger=ledger)
-    else:
-        raise ValueError(f"unknown variant {variant!r}")
-    result.meta["ledger"] = ledger
-    return result
+    return run_variant(variant, graph, rng=rng, ledger=ledger, t=t, eps=eps)

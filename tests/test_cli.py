@@ -53,8 +53,19 @@ class TestCommands:
         code = main(["frontier", "--n", "40"])
         assert code == 0
         out = capsys.readouterr().out
+        # Every registered variant appears, seed names included.
+        from repro.core import iter_variants
+
+        for spec in iter_variants():
+            assert spec.display_name in out
         for name in ("exact matmul", "UY90", "spanner-only", "thm 7.1", "thm 1.1"):
             assert name in out
+
+    def test_run_registry_variants(self, capsys):
+        """The run command accepts variants that only exist via the registry."""
+        code = main(["run", "--n", "36", "--seed", "2", "--variant", "uy90"])
+        assert code == 0
+        assert "factor" in capsys.readouterr().out
 
     def test_tradeoff_sweep(self, capsys):
         code = main(["tradeoff", "--n", "40", "--max-t", "2"])
