@@ -23,8 +23,8 @@ from repro.cclique import RoundLedger
 from repro.core.registry import VariantSpec, iter_variants, run_variant
 from repro.graphs import (
     WeightedGraph,
+    cached_exact_apsp,
     erdos_renyi,
-    exact_apsp,
     grid_graph,
     heavy_tail_weights,
     path_with_shortcuts,
@@ -81,7 +81,6 @@ def variant_name(request) -> str:
     return request.param
 
 
-_EXACT_CACHE: Dict[str, np.ndarray] = {}
 _GRAPH_CACHE: Dict[str, WeightedGraph] = {}
 
 
@@ -112,7 +111,7 @@ def workload(name: str, n: int) -> WeightedGraph:
 
 
 def exact_for(name: str, n: int) -> np.ndarray:
-    key = f"{name}:{n}"
-    if key not in _EXACT_CACHE:
-        _EXACT_CACHE[key] = exact_apsp(workload(name, n))
-    return _EXACT_CACHE[key]
+    # Content-hash memoised oracle: shared with the solver facade and the
+    # sweep runner (and LRU/byte bounded there), so cross-harness reruns
+    # of one workload never recompute Dijkstra.
+    return cached_exact_apsp(workload(name, n))

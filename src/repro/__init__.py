@@ -70,26 +70,45 @@ from .core import (
     variant_names,
 )
 from .graphs import (
+    ExactOracleCache,
     WeightedGraph,
+    cached_exact_apsp,
     erdos_renyi,
     exact_apsp,
+    graph_content_hash,
     grid_graph,
     path_with_shortcuts,
     preferential_attachment,
 )
+from .semiring import (
+    KernelSpec,
+    iter_kernels,
+    kernel_names,
+    minplus,
+    register_kernel,
+    use_kernel,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ApspResult",
     "ApspSolver",
     "Estimate",
+    "ExactOracleCache",
+    "KernelSpec",
     "RoundLedger",
     "SimulatedClique",
     "SolverConfig",
     "VariantSpec",
     "WeightedGraph",
     "approximate_apsp",
+    "cached_exact_apsp",
+    "graph_content_hash",
+    "iter_kernels",
+    "kernel_names",
+    "minplus",
+    "use_kernel",
     "apsp_large_bandwidth",
     "apsp_small_diameter",
     "apsp_theorem11",
@@ -108,6 +127,7 @@ __all__ = [
     "path_with_shortcuts",
     "preferential_attachment",
     "reduce_approximation",
+    "register_kernel",
     "register_variant",
     "run_variant",
     "spanner_only_baseline",

@@ -33,9 +33,10 @@ import numpy as np
 from .cclique.accounting import LedgerEntry, RoundLedger
 from .core.registry import VariantSpec, get_variant, run_variant
 from .core.results import Estimate
-from .graphs.distances import exact_apsp
+from .graphs.distances import cached_exact_apsp
 from .graphs.graph import WeightedGraph
 from .graphs.validation import ApproximationReport, check_estimate
+from .semiring.kernels import AUTO, get_kernel, use_kernel
 
 #: Recognised validation modes for :class:`SolverConfig`.
 VALIDATION_MODES = ("none", "stretch", "strict")
@@ -63,9 +64,16 @@ class SolverConfig:
         Congested Clique).
     validation:
         ``"none"`` — trust the factor; ``"stretch"`` — also compute exact
-        distances and attach a measured-stretch certificate;
-        ``"strict"`` — additionally raise if the certificate violates the
-        declared factor.
+        distances (memoised across variants by the content-hash oracle
+        cache) and attach a measured-stretch certificate; ``"strict"`` —
+        additionally raise if the certificate violates the declared
+        factor.
+    kernel:
+        Min-plus kernel name for every tropical product of the solve
+        (see :mod:`repro.semiring.kernels`); ``None``/``"auto"`` defers
+        to env/auto selection.  Applied per worker via
+        :func:`repro.semiring.kernels.use_kernel`, so concurrent batches
+        with different configs do not interfere.
     extra_params:
         Additional variant-specific keyword parameters (e.g.
         ``{"hop_parameter": 8}`` for UY90); unknown keys are dropped by
@@ -78,6 +86,7 @@ class SolverConfig:
     seed: int = 0
     bandwidth_words: int = 1
     validation: str = "none"
+    kernel: Optional[str] = None
     extra_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -95,6 +104,8 @@ class SolverConfig:
                 f"validation must be one of {VALIDATION_MODES}, "
                 f"got {self.validation!r}"
             )
+        if self.kernel is not None and self.kernel != AUTO:
+            get_kernel(self.kernel)  # raises ValueError on unknown names
 
     @property
     def spec(self) -> VariantSpec:
@@ -261,13 +272,14 @@ def _solve_one(config: SolverConfig, graph: WeightedGraph, stream: int) -> ApspR
     rng = config.rng_for(stream)
     ledger = RoundLedger(graph.n, bandwidth_words=config.bandwidth_words)
     start = time.perf_counter()
-    estimate = run_variant(
-        config.variant, graph, rng=rng, ledger=ledger, **config.params()
-    )
+    with use_kernel(config.kernel):
+        estimate = run_variant(
+            config.variant, graph, rng=rng, ledger=ledger, **config.params()
+        )
     wall_time = time.perf_counter() - start
     stretch: Optional[ApproximationReport] = None
     if config.validation != "none":
-        report = check_estimate(exact_apsp(graph), estimate.estimate)
+        report = check_estimate(cached_exact_apsp(graph), estimate.estimate)
         stretch = report
         if config.validation == "strict":
             if not report.sound:

@@ -18,8 +18,13 @@ Commands
     Exercise the message-level simulator: broadcast, full-load routing,
     distributed Bellman-Ford.
 
-All commands take ``--n``, ``--family`` and ``--seed``; outputs are plain
-text tables, suitable for piping into experiment logs.
+``kernels``
+    List the registered min-plus kernels and what auto-selection would
+    pick for the given workload size.
+
+All commands take ``--n``, ``--family``, ``--seed`` and ``--kernel``
+(min-plus kernel override for every tropical product of the command);
+outputs are plain text tables, suitable for piping into experiment logs.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from .cclique import Message, RoundLedger, route_two_phase
 from .core import iter_variants, run_variant, variant_names
 from .graphs import (
     WeightedGraph,
+    cached_exact_apsp,
     check_estimate,
     erdos_renyi,
     exact_apsp,
@@ -45,6 +51,15 @@ from .graphs import (
     preferential_attachment,
 )
 from .protocols import run_distributed_bellman_ford
+from .semiring import (
+    AUTO,
+    KERNEL_ENV,
+    auto_kernel,
+    iter_kernels,
+    kernel_names,
+    resolve_kernel,
+    use_kernel,
+)
 
 FAMILIES = ("er", "er-dense", "grid", "path", "pa", "heavy", "poly")
 
@@ -77,12 +92,18 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         "--family", choices=FAMILIES, default="er", help="workload family"
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--kernel",
+        choices=(AUTO,) + kernel_names(),
+        default=AUTO,
+        help="min-plus kernel for every tropical product (default: auto)",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = build_workload(args.family, args.n, rng)
-    exact = exact_apsp(graph)
+    exact = cached_exact_apsp(graph)
     ledger = RoundLedger(graph.n)
     # Registry dispatch: ``t`` is dropped for variants that don't take it.
     result = run_variant(args.variant, graph, rng=rng, ledger=ledger, t=args.t)
@@ -101,7 +122,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_frontier(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = build_workload(args.family, args.n, rng)
-    exact = exact_apsp(graph)
+    exact = cached_exact_apsp(graph)
     rows = []
     # Every registered variant, in registration order; variants with
     # required parameters (thm 1.2's t) run at their declared defaults.
@@ -132,7 +153,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
 def cmd_tradeoff(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = build_workload(args.family, args.n, rng)
-    exact = exact_apsp(graph)
+    exact = cached_exact_apsp(graph)
     rows = []
     for t in range(1, args.max_t + 1):
         ledger = RoundLedger(graph.n)
@@ -176,6 +197,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_kernels(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    matrix = graph.matrix()
+    rows = [
+        (spec.name, spec.requires or "-", spec.summary)
+        for spec in iter_kernels()
+    ]
+    print(format_table(["kernel", "requires", "summary"], rows,
+                       title="registered min-plus kernels"))
+    # auto_kernel ignores any --kernel/env pin; resolve_kernel honours it.
+    print(f"\nauto-selection for {args.family} (n={graph.n}): "
+          f"{auto_kernel(matrix, matrix)}")
+    effective = resolve_kernel(matrix, matrix)
+    if effective != auto_kernel(matrix, matrix):
+        print(f"pinned for this invocation (--kernel/{KERNEL_ENV}): {effective}")
+    print(f"override with --kernel or the {KERNEL_ENV} environment variable")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -212,13 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
     _common_arguments(simulate_parser)
     simulate_parser.set_defaults(handler=cmd_simulate)
 
+    kernels_parser = subparsers.add_parser(
+        "kernels", help="list min-plus kernels and the auto-selection"
+    )
+    _common_arguments(kernels_parser)
+    kernels_parser.set_defaults(handler=cmd_kernels)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    # ``--kernel`` pins every tropical product of the command to one
+    # registered kernel; "auto" keeps the per-product selection.
+    with use_kernel(getattr(args, "kernel", None)):
+        return args.handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,9 +27,8 @@ import numpy as np
 
 from ..cclique import costs
 from ..cclique.accounting import RoundLedger
-from ..graphs.distances import minplus_square
 from ..graphs.graph import WeightedGraph
-from ..semiring.minplus import minplus
+from ..semiring.kernels import minplus, minplus_square
 from ..spanners.logn_approx import logn_bootstrap
 from .results import Estimate
 

@@ -1,19 +1,30 @@
 """Exact distance computations (ground truth and h-hop distances).
 
 These are the *reference* implementations the experiments compare against:
-scipy's Dijkstra gives exact APSP ground truth, and a Bellman-Ford-style
-recurrence gives exact ``h``-hop-bounded distances (the matrix power ``A^h``
-over the min-plus semiring of Section 2.1).
+scipy's Dijkstra gives exact APSP ground truth (memoised across variants
+by :class:`ExactOracleCache`), and min-plus matrix powers give exact
+``h``-hop-bounded distances (Section 2.1).
+
+The tropical products themselves (``minplus_product``/``minplus_square``)
+are served by the kernel registry in :mod:`repro.semiring.kernels` and
+re-exported here under their historical names.  ``repro.semiring.kernels``
+is a dependency-free leaf module, so this import does not invert the
+package layering (see DESIGN.md, "Kernel layer").
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional
 
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from ..semiring.kernels import minplus as minplus_product  # noqa: F401
+from ..semiring.kernels import minplus_power, minplus_square  # noqa: F401
 from .graph import INF, WeightedGraph
 
 
@@ -51,53 +62,143 @@ def exact_sssp(graph: WeightedGraph, source: int) -> np.ndarray:
 def hop_limited_distances(
     matrix: np.ndarray,
     hops: int,
-    block: int = 64,
+    block: Optional[int] = None,
 ) -> np.ndarray:
     """Exact ``h``-hop distances: the min-plus power ``A^h``.
 
-    ``matrix`` must have a zero diagonal (so powers are monotone in ``h``:
-    ``A^h[u, v]`` is the minimum length over paths of *at most* ``h`` hops).
-    Computed by ``ceil(log2 h)`` min-plus squarings.
+    ``matrix`` must have a zero diagonal, which makes powers *monotone*
+    in ``h``: every path with at most ``h`` hops is also a path with at
+    most ``h' >= h`` hops (pad with zero-weight self-loops), so
+    ``A^{h'} <= A^h`` entrywise.  Monotonicity is why the historical
+    implementation — plain repeated squaring up to the next power of two
+    — was merely an *underestimate*-safe bound rather than exact: for
+    ``h = 3`` it returned ``A^4``, whose entries can be strictly smaller
+    than the true 3-hop distances.  This function is now exact for every
+    ``h``: it delegates to :func:`repro.semiring.kernels.minplus_power`,
+    whose square-and-multiply hits the requested exponent precisely.
 
     Parameters
     ----------
     matrix:
-        ``(n, n)`` min-plus adjacency matrix.
+        ``(n, n)`` min-plus adjacency matrix (zero diagonal required).
     hops:
         Hop bound ``h >= 1``.
     block:
-        Row-block size for the blocked product (memory control).
+        Row-block hint forwarded to the kernel layer (memory control).
     """
     if hops < 1:
         raise ValueError("hop bound must be >= 1")
-    result = np.array(matrix, dtype=np.float64)
-    power = 1
-    while power < hops:
-        result = minplus_square(result, block=block)
-        power *= 2
-    return result
+    return minplus_power(np.asarray(matrix, dtype=np.float64), hops, block=block)
 
 
-def minplus_square(matrix: np.ndarray, block: int = 64) -> np.ndarray:
-    """One min-plus squaring ``A -> A (*) A`` (blocked for memory)."""
-    return minplus_product(matrix, matrix, block=block)
+def graph_content_hash(graph: WeightedGraph) -> str:
+    """Content digest of a graph: nodes, directedness, and the edge arrays.
+
+    Two graphs with identical edge content hash identically regardless of
+    how or when they were constructed (the constructor canonicalises edge
+    order and dedup), which is what lets :class:`ExactOracleCache` share
+    ground truth across solver variants that each rebuild the same
+    workload from the same seed.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.n};directed={int(graph.directed)};".encode())
+    digest.update(graph.edge_u.tobytes())
+    digest.update(graph.edge_v.tobytes())
+    digest.update(graph.edge_w.tobytes())
+    return digest.hexdigest()
 
 
-def minplus_product(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
-    """Min-plus (tropical) matrix product ``(A * B)[i, j] = min_k A[i,k]+B[k,j]``."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError("inner dimensions must agree")
-    rows = a.shape[0]
-    cols = b.shape[1]
-    out = np.empty((rows, cols), dtype=np.float64)
-    for start in range(0, rows, block):
-        stop = min(start + block, rows)
-        # (block, k, 1) + (1, k, cols) -> min over k
-        chunk = a[start:stop, :, None] + b[None, :, :]
-        out[start:stop] = chunk.min(axis=1)
-    return out
+class ExactOracleCache:
+    """LRU cache of exact APSP ground truth, keyed by graph content hash.
+
+    Stretch certificates (``SolverConfig(validation=...)``), seed sweeps,
+    and frontier tables all compare *every* variant against the same
+    Dijkstra oracle; without a cache the oracle is recomputed once per
+    variant per graph.  The cache is thread-safe (``solve_many`` runs
+    validation from pool workers) and bounded both by entry count and by
+    total bytes (the matrices are ``O(n^2)``, so a count bound alone
+    would let large-``n`` batches pin gigabytes); LRU eviction enforces
+    both.  Returned matrices are marked read-only so a cache hit can be
+    shared safely across callers.
+    """
+
+    def __init__(
+        self, max_entries: int = 64, max_bytes: int = 256 * 2**20
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by cached matrices."""
+        return self._bytes
+
+    def get(self, graph: WeightedGraph) -> np.ndarray:
+        """Exact APSP for ``graph``, computed at most once per content.
+
+        The returned array is read-only; take a copy before mutating.
+        """
+        key = graph_content_hash(graph)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return cached
+        # Dijkstra runs outside the lock: concurrent misses on *different*
+        # graphs must not serialise (a duplicated miss on the same graph
+        # merely wastes one computation and is resolved on insert).
+        dist = exact_apsp(graph)
+        dist.setflags(write=False)
+        with self._lock:
+            existing = self._store.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self._store[key] = dist
+            self._bytes += dist.nbytes
+            # Evict LRU-first until both bounds hold again.  A single
+            # matrix larger than max_bytes is kept alone (evicting it
+            # immediately would just thrash on every get).
+            while len(self._store) > self.max_entries or (
+                self._bytes > self.max_bytes and len(self._store) > 1
+            ):
+                _, evicted = self._store.popitem(last=False)
+                self._bytes -= evicted.nbytes
+        return dist
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+
+#: Process-wide oracle shared by the solver facade, the CLI, the sweep
+#: runner, and the benchmark harness.
+DEFAULT_ORACLE = ExactOracleCache()
+
+
+def cached_exact_apsp(graph: WeightedGraph) -> np.ndarray:
+    """:func:`exact_apsp` memoised through :data:`DEFAULT_ORACLE`.
+
+    Returns a read-only matrix; take a copy before mutating.
+    """
+    return DEFAULT_ORACLE.get(graph)
 
 
 def weighted_diameter(graph: WeightedGraph) -> float:

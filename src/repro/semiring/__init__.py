@@ -1,4 +1,12 @@
-"""Tropical (min-plus) semiring algebra, dense and density-priced sparse."""
+"""Tropical (min-plus) semiring algebra, dense and density-priced sparse.
+
+The dense product is served by a registry of pluggable kernels
+(:mod:`repro.semiring.kernels`): ``minplus(a, b, kernel=...)`` dispatches
+to the reference ``broadcast`` kernel, the cache-``tiled`` kernel, the
+``int-repack`` kernel, or a ``numba`` JIT kernel when numba is
+installed.  ``use_kernel("tiled")`` / the ``REPRO_MINPLUS_KERNEL``
+environment variable fix the choice process-wide.
+"""
 
 from .minplus import (
     INF,
@@ -7,26 +15,57 @@ from .minplus import (
     filtered_hop_power,
     hop_power_row_sparse,
     k_smallest_in_rows,
-    minplus,
-    minplus_power,
     row_sparse_from_dense,
     rows_agree_on_k_smallest,
 )
 from .sparse import SparseProductResult, density, embed, sparse_minplus
 
+# Imported *after* ``.minplus`` on purpose: loading the ``minplus``
+# submodule binds the package attribute ``repro.semiring.minplus`` to the
+# module object; re-importing from ``.kernels`` afterwards rebinds the
+# public name to the dispatcher function (the historical API).
+from .kernels import (
+    AUTO,
+    auto_kernel,
+    KERNEL_ENV,
+    KernelSpec,
+    get_kernel,
+    iter_kernels,
+    kernel_names,
+    minplus,
+    minplus_gather,
+    minplus_power,
+    minplus_square,
+    register_kernel,
+    resolve_kernel,
+    use_kernel,
+)
+
 __all__ = [
+    "AUTO",
+    "auto_kernel",
     "INF",
+    "KERNEL_ENV",
+    "KernelSpec",
     "RowSparse",
     "SparseProductResult",
     "density",
     "embed",
     "filter_rows",
     "filtered_hop_power",
+    "get_kernel",
     "hop_power_row_sparse",
+    "iter_kernels",
     "k_smallest_in_rows",
+    "kernel_names",
     "minplus",
+    "minplus_gather",
     "minplus_power",
-    "row_sparse_from_dense",
+    "minplus_square",
+    "register_kernel",
+    "resolve_kernel",
     "rows_agree_on_k_smallest",
+    "row_sparse_from_dense",
     "sparse_minplus",
+    "use_kernel",
 ]

@@ -5,64 +5,30 @@ Section 2.1 frames APSP as exponentiation over the tropical semiring
 each row keeps only its ``k`` smallest entries (ties broken by node ID).
 This module provides:
 
-* dense min-plus products and powers (blocked for memory),
 * row filtering with the paper's exact tie-breaking rule,
 * a row-sparse representation (``(n, k)`` index/value arrays) and the
   hop-bounded power over it — the local computation performed by the node
   assigned an h-combination in the Section 5 algorithm.
+
+The dense products themselves (``minplus``, ``minplus_power``, ...) live
+in :mod:`repro.semiring.kernels` — the pluggable kernel registry — and
+are re-exported here for back-compat.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-INF = np.inf
-
-
-def minplus(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
-    """Dense min-plus product ``(A * B)[i, j] = min_k (A[i,k] + B[k,j])``."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError("inner dimensions must agree")
-    out = np.empty((a.shape[0], b.shape[1]), dtype=np.float64)
-    for start in range(0, a.shape[0], block):
-        stop = min(start + block, a.shape[0])
-        out[start:stop] = (a[start:stop, :, None] + b[None, :, :]).min(axis=1)
-    return out
-
-
-def minplus_power(matrix: np.ndarray, exponent: int, block: int = 64) -> np.ndarray:
-    """Exact min-plus power ``A^h`` by binary exponentiation.
-
-    Requires a zero diagonal so that ``A^h`` equals "minimum length over
-    paths with at most h hops" (Section 2.1).  Square-and-multiply makes
-    the exponent exact for every ``h`` (plain repeated squaring would
-    overshoot to the next power of two).
-    """
-    if exponent < 1:
-        raise ValueError("exponent must be >= 1")
-    matrix = np.asarray(matrix, dtype=np.float64)
-    if np.any(np.diag(matrix) != 0):
-        raise ValueError("matrix must have a zero diagonal")
-    accumulator: Optional[np.ndarray] = None
-    base = np.array(matrix)
-    remaining = int(exponent)
-    while remaining > 0:
-        if remaining & 1:
-            accumulator = (
-                np.array(base)
-                if accumulator is None
-                else minplus(accumulator, base, block=block)
-            )
-        remaining >>= 1
-        if remaining:
-            base = minplus(base, base, block=block)
-    assert accumulator is not None
-    return accumulator
+from .kernels import (  # noqa: F401  (re-exported for back-compat)
+    INF,
+    minplus,
+    minplus_gather,
+    minplus_power,
+    minplus_square,
+)
 
 
 def k_smallest_in_rows(matrix: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -186,8 +152,9 @@ def hop_power_row_sparse(
     wgt = np.where(sparse.indices >= 0, sparse.values, INF)
     current = dist
     for _ in range(hops - 1):
-        # candidate[u, j, v] = w(u, nbr_j) + current[nbr_j, v]
-        candidate = (wgt[:, :, None] + current[nbr, :]).min(axis=1)
+        # candidate[u, v] = min_j w(u, nbr_j) + current[nbr_j, v], blocked
+        # through the kernel layer's gathered product.
+        candidate = minplus_gather(wgt, nbr, current)
         updated = np.minimum(current, candidate)
         if np.array_equal(updated, current):
             break

@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..cclique.accounting import RoundLedger
-from .minplus import INF, minplus
+from .kernels import INF, minplus
 
 
 def density(matrix: np.ndarray) -> float:
@@ -45,6 +45,7 @@ def sparse_minplus(
     rho_st_bound: Optional[float] = None,
     clique_n: Optional[int] = None,
     detail: str = "sparse min-plus product [CDKL21, Thm 8]",
+    kernel: Optional[str] = None,
 ) -> SparseProductResult:
     """Min-plus product priced by the [CDKL21] sparse-matmul formula.
 
@@ -67,8 +68,11 @@ def sparse_minplus(
         into ``n x n`` clique matrices; passing the clique size computes
         ``rho`` as total finite entries over ``clique_n`` rows, matching the
         paper's accounting.  Defaults to each factor's own row count.
+    kernel:
+        Explicit min-plus kernel name (see :mod:`repro.semiring.kernels`);
+        ``None`` defers to the ambient/auto selection.
     """
-    product = minplus(s, t)
+    product = minplus(s, t, kernel=kernel)
     if clique_n is not None:
         rho_s = float(np.isfinite(s).sum() / max(1, clique_n))
         rho_t = float(np.isfinite(t).sum() / max(1, clique_n))

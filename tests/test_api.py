@@ -122,11 +122,28 @@ class TestSolverConfig:
             {"variant": "tradeoff"},  # missing t
             {"bandwidth_words": 0},
             {"validation": "sometimes"},
+            {"kernel": "bogus"},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             SolverConfig(**kwargs)
+
+    def test_kernel_choice_does_not_change_results(self):
+        """Kernels are bit-identical, so the config knob is output-neutral."""
+        graph = small_er()
+        baseline = ApspSolver(
+            SolverConfig(variant="theorem11", seed=3, kernel="broadcast")
+        ).solve(graph)
+        for kernel in ("tiled", "int-repack", "auto", None):
+            result = ApspSolver(
+                SolverConfig(variant="theorem11", seed=3, kernel=kernel)
+            ).solve(graph)
+            assert np.array_equal(result.estimate, baseline.estimate), kernel
+
+    def test_kernel_round_trips_through_dict(self):
+        config = SolverConfig(variant="exact", kernel="tiled")
+        assert SolverConfig.from_dict(config.to_dict()) == config
 
     def test_rng_streams_are_deterministic_and_distinct(self):
         config = SolverConfig(seed=5)

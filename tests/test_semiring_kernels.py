@@ -1,0 +1,375 @@
+"""Tests for the min-plus kernel subsystem (repro.semiring.kernels).
+
+The load-bearing contract: every registered kernel is **bit-identical**
+to the ``broadcast`` reference on arbitrary inputs — integer-valued,
+fractional, inf-laden, rectangular, and adversarially large values that
+force each internal path of ``int-repack`` (float32, int64 sentinel,
+float64 fallback).  Downstream, the ``k_smallest_in_rows`` ID tie-break
+must therefore be kernel-independent as well.
+
+Also covered: the selection precedence (argument > ``use_kernel`` context
+> ``REPRO_MINPLUS_KERNEL`` environment > auto), the exactness fix of
+``hop_limited_distances``, the gathered row-sparse product, and the
+content-hash exact-distance oracle cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    ExactOracleCache,
+    erdos_renyi,
+    exact_apsp,
+    graph_content_hash,
+    hop_limited_distances,
+    minplus_product,
+    minplus_square,
+)
+from repro.semiring import (
+    AUTO,
+    KERNEL_ENV,
+    auto_kernel,
+    get_kernel,
+    hop_power_row_sparse,
+    iter_kernels,
+    k_smallest_in_rows,
+    kernel_names,
+    kernels as kernels_module,
+    minplus,
+    minplus_gather,
+    minplus_power,
+    register_kernel,
+    resolve_kernel,
+    row_sparse_from_dense,
+    use_kernel,
+)
+
+from tests.helpers import make_rng
+
+ALL_KERNELS = kernel_names()
+
+
+def reference(a, b):
+    return minplus(a, b, kernel="broadcast")
+
+
+def random_matrix(rng, shape, *, integral, inf_frac=0.25, lo=1, hi=100):
+    if integral:
+        out = rng.integers(lo, hi, shape).astype(np.float64)
+    else:
+        out = rng.uniform(lo, hi, shape)
+    out[rng.random(shape) < inf_frac] = np.inf
+    return out
+
+
+class TestRegistry:
+    def test_baseline_kernels_registered(self):
+        for name in ("broadcast", "tiled", "int-repack"):
+            assert name in ALL_KERNELS
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown min-plus kernel"):
+            minplus(np.zeros((2, 2)), np.zeros((2, 2)), kernel="bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("broadcast", summary="dup")(lambda *a: None)
+
+    def test_auto_name_reserved(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel(AUTO, summary="nope")(lambda *a: None)
+
+    def test_specs_carry_metadata(self):
+        for spec in iter_kernels():
+            assert spec.summary
+            assert get_kernel(spec.name) is spec
+
+
+class TestKernelEquivalence:
+    """Every kernel must be bit-identical to the reference."""
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    @pytest.mark.parametrize("integral", [True, False])
+    @pytest.mark.parametrize("n", [1, 2, 17, 64, 130])
+    def test_square_random(self, kernel, integral, n):
+        rng = make_rng(1000 * n + integral)
+        a = random_matrix(rng, (n, n), integral=integral)
+        b = random_matrix(rng, (n, n), integral=integral)
+        got = minplus(a, b, kernel=kernel)
+        assert np.array_equal(got, reference(a, b)), kernel
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    @pytest.mark.parametrize(
+        "shape", [(1, 5, 3), (33, 9, 70), (70, 300, 5), (257, 40, 259)]
+    )
+    def test_rectangular(self, kernel, shape):
+        rows, inner, cols = shape
+        rng = make_rng(sum(shape))
+        a = random_matrix(rng, (rows, inner), integral=True)
+        b = random_matrix(rng, (inner, cols), integral=False, inf_frac=0.5)
+        got = minplus(a, b, kernel=kernel)
+        assert np.array_equal(got, reference(a, b)), kernel
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_all_inf_rows_and_columns(self, kernel):
+        rng = make_rng(3)
+        a = random_matrix(rng, (20, 20), integral=True)
+        a[7, :] = np.inf
+        b = random_matrix(rng, (20, 20), integral=True)
+        b[:, 11] = np.inf
+        got = minplus(a, b, kernel=kernel)
+        ref = reference(a, b)
+        assert np.array_equal(got, ref)
+        assert np.all(np.isinf(got[7, :])) and np.all(np.isinf(got[:, 11]))
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_negative_entries(self, kernel):
+        rng = make_rng(4)
+        a = random_matrix(rng, (25, 25), integral=True, lo=-50, hi=50)
+        b = random_matrix(rng, (25, 25), integral=True, lo=-50, hi=50)
+        assert np.array_equal(minplus(a, b, kernel=kernel), reference(a, b))
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    @pytest.mark.parametrize(
+        "magnitude",
+        [
+            2**20,  # int-repack: float32 path
+            2**30,  # int-repack: int64 sentinel path
+            2**55,  # int-repack: float64 fallback (sums would round)
+        ],
+    )
+    def test_value_range_paths(self, kernel, magnitude):
+        rng = make_rng(int(np.log2(magnitude)))
+        a = random_matrix(rng, (30, 30), integral=True, lo=1, hi=magnitude)
+        b = random_matrix(rng, (30, 30), integral=True, lo=1, hi=magnitude)
+        assert np.array_equal(minplus(a, b, kernel=kernel), reference(a, b))
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_k_smallest_tie_break_downstream(self, kernel):
+        """The ID tie-break of Section 5 survives every kernel bit-for-bit."""
+        rng = make_rng(5)
+        # Small weight range forces many ties in the product.
+        a = random_matrix(rng, (60, 60), integral=True, lo=1, hi=5)
+        idx_ref, val_ref = k_smallest_in_rows(reference(a, a), 7)
+        idx, val = k_smallest_in_rows(minplus(a, a, kernel=kernel), 7)
+        assert np.array_equal(idx, idx_ref)
+        assert np.array_equal(val, val_ref)
+
+    def test_empty_inner_dimension_is_semiring_zero(self):
+        out = minplus(np.empty((3, 0)), np.empty((0, 4)))
+        assert out.shape == (3, 4) and np.all(np.isinf(out))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            minplus(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestSelection:
+    def test_explicit_argument_wins(self, monkeypatch):
+        a = np.zeros((4, 4))
+        monkeypatch.setenv(KERNEL_ENV, "tiled")
+        with use_kernel("int-repack"):
+            assert resolve_kernel(a, a, "broadcast") == "broadcast"
+
+    def test_context_beats_environment(self, monkeypatch):
+        a = np.zeros((4, 4))
+        monkeypatch.setenv(KERNEL_ENV, "tiled")
+        with use_kernel("broadcast"):
+            assert resolve_kernel(a, a) == "broadcast"
+        assert resolve_kernel(a, a) == "tiled"
+
+    def test_environment_override(self, monkeypatch):
+        a = np.zeros((4, 4))
+        monkeypatch.setenv(KERNEL_ENV, "tiled")
+        assert resolve_kernel(a, a) == "tiled"
+        monkeypatch.setenv(KERNEL_ENV, "bogus")
+        with pytest.raises(ValueError, match="unknown min-plus kernel"):
+            resolve_kernel(a, a)
+
+    def test_auto_defers_to_selection(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        ints = np.ones((8, 8))
+        floats = ints + 0.5
+        with use_kernel(AUTO):
+            if "numba" not in ALL_KERNELS:
+                assert resolve_kernel(ints, ints) == "int-repack"
+                assert resolve_kernel(floats, floats) == "broadcast"
+            big = np.full((kernels_module.TILED_MIN_DIM, 4), 0.5)
+            assert resolve_kernel(big, np.full((4, 4), 0.5)) in ("tiled", "numba")
+
+    def test_auto_kernel_ignores_pins(self, monkeypatch):
+        ints = np.ones((8, 8))
+        monkeypatch.setenv(KERNEL_ENV, "tiled")
+        with use_kernel("broadcast"):
+            assert resolve_kernel(ints, ints) == "broadcast"
+            if "numba" not in ALL_KERNELS:
+                assert auto_kernel(ints, ints) == "int-repack"
+
+    def test_use_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown min-plus kernel"):
+            with use_kernel("bogus"):
+                pass
+
+    def test_use_kernel_is_thread_local(self):
+        seen = {}
+
+        def probe(name):
+            a = np.ones((4, 4))
+            with use_kernel(name):
+                seen[name] = resolve_kernel(a, a)
+
+        with use_kernel("tiled"):
+            worker = threading.Thread(target=probe, args=("broadcast",))
+            worker.start()
+            worker.join()
+            assert resolve_kernel(np.ones((4, 4)), np.ones((4, 4))) == "tiled"
+        assert seen["broadcast"] == "broadcast"
+
+
+class TestPowersAndGather:
+    def test_minplus_power_matches_iterated_product(self):
+        rng = make_rng(6)
+        a = random_matrix(rng, (24, 24), integral=True)
+        np.fill_diagonal(a, 0.0)
+        expected = a
+        for h in range(2, 8):
+            expected = reference(expected, a)
+            assert np.array_equal(minplus_power(a, h), expected), h
+
+    def test_power_requires_zero_diagonal(self):
+        with pytest.raises(ValueError, match="zero diagonal"):
+            minplus_power(np.ones((3, 3)), 2)
+
+    def test_hop_limited_is_exact_not_power_of_two(self):
+        """The historical overshoot bug: h=3 must not include 4-hop paths."""
+        n = 5
+        path = np.full((n, n), np.inf)
+        np.fill_diagonal(path, 0.0)
+        for i in range(n - 1):
+            path[i, i + 1] = path[i + 1, i] = 1.0
+        three = hop_limited_distances(path, 3)
+        four = hop_limited_distances(path, 4)
+        assert np.isinf(three[0, 4])  # 4 hops away: unreachable in 3
+        assert four[0, 4] == 4.0
+        # Monotone in h: more hops never lengthens a distance.
+        assert np.all(four <= three)
+
+    def test_hop_limited_agrees_with_dijkstra_at_n_hops(self, rng):
+        graph = erdos_renyi(24, 0.2, rng)
+        full = hop_limited_distances(graph.matrix(), graph.n)
+        assert np.allclose(full, exact_apsp(graph))
+
+    def test_minplus_gather_matches_dense_formula(self):
+        rng = make_rng(7)
+        dense = random_matrix(rng, (30, 30), integral=True)
+        weights = random_matrix(rng, (30, 4), integral=True)
+        indices = rng.integers(0, 30, (30, 4))
+        expected = (weights[:, :, None] + dense[indices, :]).min(axis=1)
+        assert np.array_equal(minplus_gather(weights, indices, dense), expected)
+        # A tiny budget forces many row blocks; result must not change.
+        tight = minplus_gather(weights, indices, dense, memory_budget=1)
+        assert np.array_equal(tight, expected)
+
+    def test_hop_power_row_sparse_unchanged_by_gather_refactor(self, rng):
+        matrix = random_matrix(rng, (40, 40), integral=True, inf_frac=0.5)
+        np.fill_diagonal(matrix, 0.0)
+        sparse = row_sparse_from_dense(matrix, 6)
+        got = hop_power_row_sparse(sparse, 3)
+        # Direct recurrence over the filtered dense matrix.
+        filtered = sparse.to_dense()
+        np.fill_diagonal(filtered, 0.0)
+        expected = filtered
+        for _ in range(2):
+            expected = np.minimum(expected, reference(filtered, expected))
+        assert np.array_equal(got, expected)
+
+
+class TestExactOracleCache:
+    def test_content_hash_ignores_construction_order(self):
+        g1 = erdos_renyi(20, 0.3, make_rng(11))
+        g2 = erdos_renyi(20, 0.3, make_rng(11))
+        assert graph_content_hash(g1) == graph_content_hash(g2)
+        g3 = erdos_renyi(20, 0.3, make_rng(12))
+        assert graph_content_hash(g1) != graph_content_hash(g3)
+
+    def test_cache_hits_across_equal_graphs(self):
+        cache = ExactOracleCache()
+        g1 = erdos_renyi(20, 0.3, make_rng(11))
+        g2 = erdos_renyi(20, 0.3, make_rng(11))
+        d1 = cache.get(g1)
+        d2 = cache.get(g2)
+        assert d1 is d2
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert np.array_equal(d1, exact_apsp(g1))
+
+    def test_cached_matrix_is_read_only(self):
+        cache = ExactOracleCache()
+        dist = cache.get(erdos_renyi(10, 0.4, make_rng(1)))
+        with pytest.raises(ValueError):
+            dist[0, 0] = 5.0
+
+    def test_lru_eviction(self):
+        cache = ExactOracleCache(max_entries=2)
+        graphs = [erdos_renyi(10, 0.4, make_rng(s)) for s in range(3)]
+        for g in graphs:
+            cache.get(g)
+        assert len(cache) == 2
+        cache.get(graphs[0])  # evicted -> recomputed
+        assert cache.misses == 4
+
+    def test_byte_bound_eviction(self):
+        # Each 10-node oracle is 800 bytes; a 2000-byte budget holds two.
+        cache = ExactOracleCache(max_entries=100, max_bytes=2000)
+        graphs = [erdos_renyi(10, 0.4, make_rng(s)) for s in range(4)]
+        for g in graphs:
+            cache.get(g)
+        assert len(cache) == 2
+        assert cache.nbytes <= 2000
+
+    def test_oversized_single_entry_is_kept(self):
+        cache = ExactOracleCache(max_entries=4, max_bytes=10)
+        graph = erdos_renyi(10, 0.4, make_rng(0))
+        first = cache.get(graph)
+        assert len(cache) == 1  # kept despite exceeding max_bytes alone
+        assert cache.get(graph) is first  # and it still hits
+
+    def test_clear(self):
+        cache = ExactOracleCache()
+        cache.get(erdos_renyi(10, 0.4, make_rng(1)))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+        assert cache.nbytes == 0
+
+    def test_thread_safety_smoke(self):
+        cache = ExactOracleCache()
+        graph = erdos_renyi(24, 0.2, make_rng(2))
+        results = []
+
+        def work():
+            results.append(cache.get(graph))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(np.array_equal(r, results[0]) for r in results)
+        assert len(cache) == 1
+
+
+class TestBackCompatAliases:
+    def test_graphs_reexports_are_the_dispatcher(self):
+        assert minplus_product is minplus
+        rng = make_rng(8)
+        a = random_matrix(rng, (12, 12), integral=True)
+        assert np.array_equal(minplus_square(a), reference(a, a))
+
+    def test_legacy_block_argument_still_accepted(self):
+        rng = make_rng(9)
+        a = random_matrix(rng, (12, 12), integral=True)
+        assert np.array_equal(minplus(a, a, block=4), reference(a, a))
+        assert np.array_equal(minplus_product(a, a, block=4), reference(a, a))
