@@ -173,6 +173,9 @@ class ApspResult(Estimate):
             "rounds_by_phase": (
                 None if ledger is None else dict(ledger.rounds_by_phase())
             ),
+            "seconds_by_phase": (
+                None if ledger is None else dict(ledger.seconds_by_phase())
+            ),
             "stretch": None if self.stretch is None else asdict(self.stretch),
             "meta": _jsonable({k: v for k, v in self.meta.items() if k != "ledger"}),
         }
@@ -336,6 +339,8 @@ def _ledger_to_dict(ledger: RoundLedger) -> Dict[str, Any]:
     return {
         "n": ledger.n,
         "bandwidth_words": ledger.bandwidth_words,
+        "phase_seconds": dict(ledger.phase_seconds),
+        "timed_seconds": ledger.timed_seconds,
         "entries": [
             {
                 "phase": e.phase,
@@ -350,6 +355,10 @@ def _ledger_to_dict(ledger: RoundLedger) -> Dict[str, Any]:
 
 def _ledger_from_dict(data: Mapping[str, Any]) -> RoundLedger:
     ledger = RoundLedger(int(data["n"]), bandwidth_words=int(data["bandwidth_words"]))
+    ledger.phase_seconds = {
+        str(k): float(v) for k, v in (data.get("phase_seconds") or {}).items()
+    }
+    ledger.timed_seconds = float(data.get("timed_seconds", 0.0))
     for entry in data.get("entries", []):
         ledger.entries.append(
             LedgerEntry(

@@ -16,6 +16,7 @@ charging a constant.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -70,6 +71,20 @@ class RoundLedger:
         self.bandwidth_words = bandwidth_words
         self.entries: List[LedgerEntry] = []
         self._phase_stack: List[str] = []
+        #: Measured wall-clock seconds per (dotted) phase name, accumulated
+        #: by the :meth:`phase` context manager.  A nested phase's time is
+        #: *included* in its ancestors' totals (the contexts overlap), so
+        #: consumers should aggregate per depth, as
+        #: :meth:`seconds_by_phase` notes.
+        self.phase_seconds: Dict[str, float] = {}
+        #: Wall-clock seconds covered by *outermost* phase contexts only —
+        #: the double-counting-free total (nested contexts and flat names
+        #: containing "/" make the per-phase dict unsafe to sum blindly).
+        self.timed_seconds: float = 0.0
+        # Per open phase context: extra seconds credited by merge()/
+        # merge_parallel() of child ledgers whose compute happened outside
+        # this context's own elapsed window (parallel to _phase_stack).
+        self._open_credits: List[float] = []
 
     # ------------------------------------------------------------------ #
     # Phase management
@@ -79,6 +94,10 @@ class RoundLedger:
         """Context manager scoping subsequent charges under ``name``.
 
         Nested phases produce dotted names, e.g. ``"thm7.1/hopset"``.
+        Besides scoping round charges, the context measures its own
+        wall-clock duration into :attr:`phase_seconds` — the phase-level
+        observability the pipeline profiler (``python -m repro profile``,
+        ``benchmarks/bench_pipeline.py``) reports.
         """
         return _PhaseContext(self, name)
 
@@ -197,6 +216,35 @@ class RoundLedger:
             out[entry.phase] = out.get(entry.phase, 0) + entry.rounds
         return out
 
+    def seconds_by_phase(self) -> Dict[str, float]:
+        """Measured wall-clock seconds per (dotted) phase name.
+
+        Times come from the :meth:`phase` contexts; a nested phase
+        (``"a/b"``) is also counted inside its parent (``"a"``), so summing
+        across *all* keys double-counts — sum one nesting depth, or use the
+        top-level keys only.
+        """
+        return dict(self.phase_seconds)
+
+    def _add_phase_seconds(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def _credit_timed_seconds(self, seconds: float) -> None:
+        """Attribute child-ledger compute time merged into this ledger.
+
+        If phase contexts are open, every enclosing level is credited (so
+        the "a parent's time includes its children's" invariant holds for
+        merged sub-ledgers too) and the outermost context folds the credit
+        into :attr:`timed_seconds` on exit; otherwise it counts directly.
+        """
+        if not seconds:
+            return
+        if self._open_credits:
+            for level in range(len(self._open_credits)):
+                self._open_credits[level] += seconds
+        else:
+            self.timed_seconds += seconds
+
     def merge(self, other: "RoundLedger", prefix: Optional[str] = None) -> None:
         """Fold another ledger's entries into this one.
 
@@ -213,6 +261,10 @@ class RoundLedger:
                     detail=entry.detail,
                 )
             )
+        for name, seconds in other.phase_seconds.items():
+            merged = name if prefix is None else f"{prefix}/{name}"
+            self._add_phase_seconds(merged, seconds)
+        self._credit_timed_seconds(other.timed_seconds)
 
     def merge_parallel(self, others: List["RoundLedger"], prefix: str) -> None:
         """Fold ledgers of algorithms that ran *in parallel*.
@@ -228,14 +280,21 @@ class RoundLedger:
             return
         rounds = max(o.total_rounds for o in others)
         words = sum(o.bandwidth_words for o in others)
+        name = f"{self._current_phase()}/{prefix}"
         self.entries.append(
             LedgerEntry(
-                phase=f"{self._current_phase()}/{prefix}",
+                phase=name,
                 rounds=rounds,
                 bandwidth_words=words,
                 detail=f"parallel composition of {len(others)} runs",
             )
         )
+        # Rounds compose as the max, but the *measured* compute happened
+        # sequentially on this machine: record the summed wall time.
+        total = sum(o.timed_seconds for o in others)
+        if total:
+            self._add_phase_seconds(name, total)
+            self._credit_timed_seconds(total)
 
     def _validate_load(self, name: str, sent: int, received: int) -> None:
         limit = LOAD_CONSTANT * self.n
@@ -265,12 +324,23 @@ class _PhaseContext:
     ledger: RoundLedger
     name: str
     _pushed: bool = field(default=False, init=False)
+    _full_name: str = field(default="", init=False)
+    _start: float = field(default=0.0, init=False)
 
     def __enter__(self) -> RoundLedger:
         self.ledger._phase_stack.append(self.name)
+        self.ledger._open_credits.append(0.0)
         self._pushed = True
+        self._full_name = self.ledger._current_phase()
+        self._start = time.perf_counter()
         return self.ledger
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._pushed:
+            elapsed = time.perf_counter() - self._start
             self.ledger._phase_stack.pop()
+            # Own elapsed plus any child-ledger compute merged while open.
+            total = elapsed + self.ledger._open_credits.pop()
+            self.ledger._add_phase_seconds(self._full_name, total)
+            if not self.ledger._phase_stack:
+                self.ledger.timed_seconds += total

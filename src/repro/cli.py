@@ -22,6 +22,10 @@ Commands
     List the registered min-plus kernels and what auto-selection would
     pick for the given workload size.
 
+``profile``
+    Run one variant and print the per-phase wall-clock / round breakdown
+    measured by the ledger's phase contexts — where pipeline time goes.
+
 All commands take ``--n``, ``--family``, ``--seed`` and ``--kernel``
 (min-plus kernel override for every tropical product of the command);
 outputs are plain text tables, suitable for piping into experiment logs.
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -197,6 +202,36 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    ledger = RoundLedger(graph.n)
+    start = time.perf_counter()
+    result = run_variant(args.variant, graph, rng=rng, ledger=ledger, t=args.t)
+    wall = time.perf_counter() - start
+    seconds = ledger.seconds_by_phase()
+    rounds = ledger.rounds_by_phase()
+    phases = sorted(set(seconds) | set(rounds))
+    rows = [
+        (
+            phase,
+            rounds.get(phase, 0),
+            f"{seconds.get(phase, 0.0) * 1e3:.1f}",
+            f"{100.0 * seconds.get(phase, 0.0) / max(wall, 1e-12):.1f}%",
+        )
+        for phase in phases
+    ]
+    print(f"graph   : {graph}")
+    print(f"variant : {args.variant}")
+    print(f"factor  : {result.factor:.2f}")
+    print(f"wall    : {wall * 1e3:.1f} ms "
+          f"({ledger.timed_seconds * 1e3:.1f} ms inside ledger phases)")
+    print(f"rounds  : {ledger.total_rounds}")
+    print()
+    print(format_table(["phase", "rounds", "ms", "% of wall"], rows))
+    return 0
+
+
 def cmd_kernels(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = build_workload(args.family, args.n, rng)
@@ -258,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_arguments(kernels_parser)
     kernels_parser.set_defaults(handler=cmd_kernels)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="per-phase wall-clock/round breakdown of one variant"
+    )
+    _common_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--variant",
+        choices=variant_names(),
+        default="theorem11",
+    )
+    profile_parser.add_argument(
+        "--t", type=int, default=2, help="tradeoff parameter"
+    )
+    profile_parser.set_defaults(handler=cmd_profile)
 
     return parser
 

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from itertools import combinations
-from typing import List, Optional, Sequence, Tuple
+from functools import lru_cache
+from itertools import combinations, islice
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,17 +68,15 @@ class BinPlan:
         """Enumerate h-combinations as tuples ``(first, *rest)``.
 
         ``rest`` is an unordered set (sorted here); the first bin is
-        distinguished.  ``limit`` truncates the enumeration (tests only
-        need prefixes for large instances).
+        distinguished.  ``limit`` truncates the enumeration *lazily* —
+        only the requested prefix is ever materialised (tests only need
+        prefixes for large instances, where the full ``h * C(p, h)`` list
+        is huge).  Full enumerations are memoised per ``(p, h)``, shared
+        across the equal-parameter plans each pipeline level rebuilds.
         """
-        out: List[Tuple[int, ...]] = []
-        for first in range(self.p):
-            others = [b for b in range(self.p) if b != first]
-            for rest in combinations(others, self.h - 1):
-                out.append((first, *sorted(rest)))
-                if limit is not None and len(out) >= limit:
-                    return out
-        return out
+        if limit is not None:
+            return list(islice(_iter_assignments(self.p, self.h), max(0, limit)))
+        return list(_full_assignments(self.p, self.h))
 
     def bin_of_global_index(self, index: int) -> int:
         """Bin containing position ``index`` of the global list ``M``."""
@@ -94,6 +93,23 @@ class BinPlan:
         first = self.bin_of_global_index(u * self.k)
         last = self.bin_of_global_index((u + 1) * self.k - 1)
         return list(range(first, last + 1))
+
+
+def _iter_assignments(p: int, h: int) -> Iterator[Tuple[int, ...]]:
+    """Lazily yield the Section 5.2 h-combinations ``(first, *rest)``.
+
+    ``others`` is ascending, so ``combinations`` emits each ``rest``
+    already sorted — the historical per-tuple ``sorted`` call was a no-op.
+    """
+    for first in range(p):
+        others = [b for b in range(p) if b != first]
+        yield from ((first, *rest) for rest in combinations(others, h - 1))
+
+
+@lru_cache(maxsize=32)
+def _full_assignments(p: int, h: int) -> Tuple[Tuple[int, ...], ...]:
+    """The complete enumeration, memoised per ``(p, h)``."""
+    return tuple(_iter_assignments(p, h))
 
 
 def make_bin_plan(n: int, k: int, h: int) -> BinPlan:

@@ -218,14 +218,14 @@ def build_skeleton(
     )
     weights = np.minimum(product.product, product.product.T)
     np.fill_diagonal(weights, INF)  # self-loops are not edges
-    edges = [
-        (int(i), int(j), float(weights[i, j]))
-        for i, j in zip(*np.nonzero(np.isfinite(weights)))
-        if i < j
-    ]
-    skeleton_graph = WeightedGraph(
+    rows, cols = np.nonzero(np.isfinite(weights))
+    upper = rows < cols
+    rows, cols = rows[upper], cols[upper]
+    skeleton_graph = WeightedGraph.from_arrays(
         size if size > 0 else 1,
-        edges,
+        rows,
+        cols,
+        weights[rows, cols],
         require_positive=False,
         require_integer=False,
     )
@@ -305,24 +305,27 @@ def verify_skeleton_conditions(
     (C1): ``d(u, v) <= delta(u, v) <= a d(u, v)`` for ``v ∈ ~N_k(u)``.
     (C2): ``delta(u, v) <= a d(u, t)`` for ``v ∈ ~N_k(u)``, ``t ∉ ~N_k(u)``.
     Used by tests and by the Theorem 8.1 pipeline's self-checks.
+
+    Fully array-native: both conditions are evaluated as masked whole-table
+    comparisons (no per-vertex Python loop).
     """
     n = exact.shape[0]
-    k = nbr_indices.shape[1]
-    for u in range(n):
-        member = nbr_indices[u]
-        vals = nbr_values[u]
-        valid = member >= 0
-        ids = member[valid]
-        dv = exact[u, ids]
-        ev = vals[valid]
-        if np.any(ev < dv * (1 - rtol)) or np.any(ev > a * dv * (1 + rtol)):
-            return False
-        outside = np.ones(n, dtype=bool)
-        outside[ids] = False
-        outside[u] = False
-        if outside.any() and valid.any():
-            max_inside = ev.max()
-            min_outside_dist = exact[u, outside].min()
-            if max_inside > a * min_outside_dist * (1 + rtol):
-                return False
-    return True
+    valid = nbr_indices >= 0
+    safe = np.where(valid, nbr_indices, 0)
+    rows = np.broadcast_to(np.arange(n)[:, None], nbr_indices.shape)
+    dv = exact[rows, safe]
+    ev = nbr_values
+    # (C1) over every valid (u, v) slot at once.
+    low = valid & (ev < dv * (1 - rtol))
+    high = valid & (ev > a * dv * (1 + rtol))
+    if low.any() or high.any():
+        return False
+    # (C2): per row, max delta inside ~N_k(u) vs min exact distance outside.
+    inside = np.zeros((n, n), dtype=bool)
+    inside[rows[valid], safe[valid]] = True
+    np.fill_diagonal(inside, True)
+    max_inside = np.where(valid, ev, -INF).max(axis=1, initial=-INF)
+    min_outside = np.where(inside, INF, exact).min(axis=1, initial=INF)
+    applies = valid.any(axis=1) & ~inside.all(axis=1)
+    violates = applies & (max_inside > a * min_outside * (1 + rtol))
+    return not violates.any()

@@ -1,0 +1,297 @@
+"""Array-native adjacency: the shared CSR view of a :class:`WeightedGraph`.
+
+The construction phases of the paper (Lemma 7.1 spanners, Lemma 3.2
+hopsets, Lemma 6.1 skeletons) all walk "the outgoing edges of ``u``" —
+historically through per-vertex Python structures (``adjacency()`` lists,
+ad-hoc ``Dict[int, Dict[int, float]]`` rebuilds).  This module is the one
+array-native replacement: a compressed-sparse-row view with each row
+sorted by ``(weight, neighbour id)`` — the paper's tie-breaking convention
+— built once per graph and cached (``WeightedGraph.csr()``).
+
+On top of the raw view it provides the vectorized primitives the
+construction layer is written in:
+
+* :func:`k_lightest_per_row` — "the k shortest outgoing edges of every
+  node" as padded ``(n, k)`` arrays (Sections 4 and 5);
+* :func:`min_dedup_edges` — collapse parallel ``(u, v)`` records keeping
+  the lightest (what a min-plus multigraph means by an edge);
+* :func:`group_min_reduce` — lightest ``(weight, value)`` per integer
+  group key, the reduction behind "best edge per adjacent cluster";
+* :func:`batched_sssp` / :func:`sssp_on_edges` — exact single-source
+  distances on edge arrays via one :func:`scipy.sparse.csgraph.dijkstra`
+  call (block-diagonal batching for many independent local subgraphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+INF = np.inf
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Outgoing adjacency in CSR form, rows sorted by ``(weight, id)``.
+
+    ``indices[indptr[u]:indptr[u+1]]`` are the neighbours of ``u`` in the
+    repo-wide order (lightest edge first, node ID tie-break), so the first
+    ``k`` entries of a row are exactly the "k shortest outgoing edges of
+    u" of Sections 4 and 5.  For undirected graphs both orientations are
+    stored.  Arrays are read-only; the view is cached per graph.
+    """
+
+    indptr: np.ndarray  # (n + 1,) int64
+    indices: np.ndarray  # (m,) int64
+    weights: np.ndarray  # (m,) float64
+
+    @property
+    def n(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.indices)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree per node (``(n,)`` int64)."""
+        return np.diff(self.indptr)
+
+    def row(self, u: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbour ids, weights)`` of ``u``, (weight, id)-sorted views."""
+        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def rows_of(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated rows of ``nodes``: ``(source, neighbour, weight)``.
+
+        The gather is fully vectorized (no per-node Python loop): entry
+        positions are reconstructed from ``indptr`` with a repeat/cumsum
+        offset trick.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        deg = self.indptr[nodes + 1] - self.indptr[nodes]
+        total = int(deg.sum())
+        if total == 0:
+            empty_i = np.zeros(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.zeros(0, dtype=np.float64)
+        offsets = np.cumsum(deg) - deg
+        pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, deg)
+            + np.repeat(self.indptr[nodes], deg)
+        )
+        return np.repeat(nodes, deg), self.indices[pos], self.weights[pos]
+
+
+def build_csr(
+    n: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    directed: bool,
+) -> CSRAdjacency:
+    """Build the (weight, id)-sorted CSR view from canonical edge arrays.
+
+    ``edge_*`` are the deduplicated arrays a :class:`WeightedGraph` stores
+    (one record per undirected edge); undirected graphs get both
+    orientations materialised here.
+    """
+    if directed:
+        src, dst, wgt = edge_u, edge_v, edge_w
+    else:
+        src = np.concatenate([edge_u, edge_v])
+        dst = np.concatenate([edge_v, edge_u])
+        wgt = np.concatenate([edge_w, edge_w])
+    order = np.lexsort((dst, wgt, src))
+    src, dst, wgt = src[order], dst[order], wgt[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    for arr in (indptr, dst, wgt):
+        arr.setflags(write=False)
+    return CSRAdjacency(indptr=indptr, indices=dst, weights=wgt)
+
+
+def k_lightest_per_row(
+    csr: CSRAdjacency, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``k`` lightest outgoing edges per node as ``(n, k)`` arrays.
+
+    Returns ``(indices, weights)`` padded with ``(-1, inf)`` — the same
+    convention as :func:`repro.semiring.minplus.k_smallest_in_rows`.
+    Rows are already (weight, id)-sorted, so this is a pure scatter.
+    """
+    k = max(0, int(k))
+    n = csr.n
+    out_idx = np.full((n, k), -1, dtype=np.int64)
+    out_w = np.full((n, k), INF, dtype=np.float64)
+    if k == 0 or csr.num_entries == 0:
+        return out_idx, out_w
+    deg = csr.degrees
+    rows = np.repeat(np.arange(n, dtype=np.int64), deg)
+    slot = np.arange(csr.num_entries, dtype=np.int64) - np.repeat(
+        csr.indptr[:-1], deg
+    )
+    keep = slot < k
+    out_idx[rows[keep], slot[keep]] = csr.indices[keep]
+    out_w[rows[keep], slot[keep]] = csr.weights[keep]
+    return out_idx, out_w
+
+
+def min_dedup_edges(
+    src: np.ndarray, dst: np.ndarray, wgt: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicate ``(src, dst)`` records, keeping the minimum weight.
+
+    The output is sorted by ``(src, dst)``.  This is the array equivalent
+    of the historical ``Dict[int, Dict[int, float]]`` min-merge, and the
+    required canonicalisation before handing edge arrays to scipy's
+    ``csr_matrix`` (whose COO constructor *sums* duplicates).
+    """
+    if len(src) == 0:
+        return (
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(wgt, dtype=np.float64),
+        )
+    order = np.lexsort((wgt, dst, src))
+    src, dst, wgt = src[order], dst[order], wgt[order]
+    first = np.ones(len(src), dtype=bool)
+    first[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+    return src[first], dst[first], wgt[first]
+
+
+def group_argmin(
+    keys: np.ndarray,
+    weights: np.ndarray,
+    tiebreak: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per distinct ``key``: the index of the entry with lexicographically
+    least ``(weight, tiebreak)``.
+
+    Returns ``(unique_keys, argmin_indices)`` with ``unique_keys`` sorted
+    ascending; ``argmin_indices[i]`` points into the input arrays, so any
+    parallel payload array can be gathered by the caller.  One stable
+    sort + one boundary mask — the reduction behind "lightest edge per
+    (vertex, adjacent cluster), neighbour-ID tie-break".
+    """
+    if len(keys) == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    order = np.lexsort((tiebreak, weights, keys))
+    sorted_keys = keys[order]
+    first = np.ones(len(sorted_keys), dtype=bool)
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return sorted_keys[first], order[first]
+
+
+def group_min_reduce(
+    keys: np.ndarray,
+    weights: np.ndarray,
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per distinct ``key``: the entry with lexicographically least
+    ``(weight, value)``.
+
+    Returns ``(unique_keys, best_weights, best_values)`` with
+    ``unique_keys`` sorted ascending.  This is the "lightest edge to each
+    adjacent cluster, neighbour-ID tie-break" reduction of the
+    Baswana–Sen construction, lifted to one sort + one mask.
+    """
+    if len(keys) == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=np.int64),
+        )
+    unique_keys, best = group_argmin(keys, weights, values)
+    return unique_keys, weights[best], values[best]
+
+
+def sssp_on_edges(
+    n_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    wgt: np.ndarray,
+    sources: Sequence[int],
+    directed: bool = True,
+) -> np.ndarray:
+    """Exact distances from ``sources`` over raw edge arrays.
+
+    Edges are min-deduplicated, assembled into one scipy CSR matrix, and
+    solved with a single :func:`~scipy.sparse.csgraph.dijkstra` call.
+    Returns ``(len(sources), n_nodes)`` with ``inf`` for unreachable.
+    """
+    src, dst, wgt = min_dedup_edges(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wgt, dtype=np.float64),
+    )
+    matrix = csr_matrix((wgt, (src, dst)), shape=(n_nodes, n_nodes))
+    out = dijkstra(matrix, directed=directed, indices=list(sources))
+    return np.atleast_2d(out)
+
+
+def batched_sssp(
+    n_nodes: int,
+    block_src: np.ndarray,
+    block_dst: np.ndarray,
+    block_wgt: np.ndarray,
+    block_id: np.ndarray,
+    block_sources: np.ndarray,
+    dedup: bool = True,
+) -> np.ndarray:
+    """Independent SSSPs on per-block local subgraphs, one dijkstra call.
+
+    Block ``b`` owns the directed edges ``(block_src[i], block_dst[i])``
+    with ``block_id[i] == b`` and the source ``block_sources[b]`` — node
+    ids are *global* (``0 .. n_nodes-1``) and blocks do not interact: the
+    edges are laid out block-diagonally (block ``b`` shifted by
+    ``b * n_nodes``) so a single multi-source dijkstra solves every local
+    computation at once.  Returns ``(num_blocks, n_nodes)`` distances,
+    row ``b`` being block ``b``'s view of the global node set.
+
+    This is the Step-3 engine of the Lemma 3.2 hopset: each node's "local
+    shortest-path computation on the received edges" is one block.
+
+    Pass ``dedup=False`` only when the caller guarantees no duplicate
+    ``(block, src, dst)`` records (scipy's COO constructor *sums*
+    duplicates, which is wrong for parallel min-plus edges).
+    """
+    num_blocks = len(block_sources)
+    if num_blocks == 0:
+        return np.zeros((0, n_nodes), dtype=np.float64)
+    shift = np.asarray(block_id, dtype=np.int64) * n_nodes
+    src = np.asarray(block_src, dtype=np.int64) + shift
+    dst = np.asarray(block_dst, dtype=np.int64) + shift
+    wgt = np.asarray(block_wgt, dtype=np.float64)
+    if dedup:
+        src, dst, wgt = min_dedup_edges(src, dst, wgt)
+    total = num_blocks * n_nodes
+    matrix = csr_matrix((wgt, (src, dst)), shape=(total, total))
+    sources = (
+        np.asarray(block_sources, dtype=np.int64)
+        + np.arange(num_blocks, dtype=np.int64) * n_nodes
+    )
+    dist = dijkstra(matrix, directed=True, indices=sources)
+    dist = np.atleast_2d(dist)
+    # Row b only ever reaches its own diagonal block; slice it back out.
+    return dist.reshape(num_blocks, num_blocks, n_nodes)[
+        np.arange(num_blocks), np.arange(num_blocks)
+    ]
+
+
+__all__ = [
+    "CSRAdjacency",
+    "build_csr",
+    "k_lightest_per_row",
+    "min_dedup_edges",
+    "group_argmin",
+    "group_min_reduce",
+    "sssp_on_edges",
+    "batched_sssp",
+]

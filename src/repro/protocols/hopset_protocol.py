@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..cclique.message import Message
 from ..cclique.routing import RoutingStats, route_two_phase
-from ..core.hopsets import _local_dijkstra
+from ..graphs.adjacency import batched_sssp, k_lightest_per_row
 from ..graphs.graph import WeightedGraph
 from ..semiring.minplus import k_smallest_in_rows
 
@@ -78,36 +78,67 @@ def run_hopset_protocol(
     # Step 2b: each u answers each requester with its k shortest outgoing
     # edges (k messages of 3 words per requester; receive load k^2 = O(n)).
     replies = []
-    short_edges: List[List[Tuple[int, float]]] = [
-        graph.k_shortest_out_edges(u, k) for u in range(n)
-    ]
+    se_idx, se_w = k_lightest_per_row(graph.csr(), k)
     for u in range(n):
         requesters = {m.payload[0] for m in delivered.get(u, []) if m.tag == "hopset:req"}
+        row_idx, row_w = se_idx[u], se_w[u]
         for v in requesters:
-            for endpoint, weight in short_edges[u]:
+            for endpoint, weight in zip(row_idx, row_w):
+                if endpoint < 0:
+                    continue
                 replies.append(
-                    Message(u, int(v), (u, endpoint, weight), tag="hopset:edge")
+                    Message(
+                        u, int(v), (u, int(endpoint), float(weight)),
+                        tag="hopset:edge",
+                    )
                 )
     edges_delivered, edge_stats = route_two_phase(replies, n)
 
-    # Step 3 (local): Dijkstra on the received edges + own outgoing edges.
-    adjacency = graph.adjacency()
+    # Step 3 (local): exact SSSP on the received edges + own outgoing
+    # edges.  Each node's subgraph (its block) is assembled as arrays and
+    # the local computations are solved by block-diagonal dijkstra calls —
+    # the same batched engine the global construction uses, with sources
+    # chunked the same way so the dense dijkstra output stays a few MB.
+    csr = graph.csr()
+    received_by_node = [
+        [m.payload for m in edges_delivered.get(v, []) if m.tag == "hopset:edge"]
+        for v in range(n)
+    ]
+    dist = np.empty((n, n), dtype=np.float64)
+    chunk_nodes = 8 if n >= 256 else 16
+    for lo in range(0, n, chunk_nodes):
+        chunk = np.arange(lo, min(n, lo + chunk_nodes), dtype=np.int64)
+        own_src, own_dst, own_w = csr.rows_of(chunk)
+        blocks = [own_src - lo]
+        srcs = [own_src]
+        dsts = [own_dst]
+        wgts = [own_w]
+        for v in chunk:
+            received = received_by_node[v]
+            if not received:
+                continue
+            blocks.append(np.full(len(received), v - lo, dtype=np.int64))
+            srcs.append(np.asarray([p[0] for p in received], dtype=np.int64))
+            dsts.append(np.asarray([p[1] for p in received], dtype=np.int64))
+            wgts.append(np.asarray([p[2] for p in received], dtype=np.float64))
+        dist[chunk] = batched_sssp(
+            n,
+            np.concatenate(srcs),
+            np.concatenate(dsts),
+            np.concatenate(wgts),
+            np.concatenate(blocks),
+            chunk,
+        )
+    reached = np.isfinite(dist)
+    np.fill_diagonal(reached, False)
     hopset_edges: List[Tuple[int, int, float]] = []
     notifications = []
-    for v in range(n):
-        local: Dict[int, List[Tuple[int, float]]] = {v: list(adjacency[v])}
-        for message in edges_delivered.get(v, []):
-            if message.tag != "hopset:edge":
-                continue
-            source, endpoint, weight = message.payload
-            local.setdefault(int(source), []).append((int(endpoint), float(weight)))
-        dist = _local_dijkstra(local, v)
-        for u, d_vu in dist.items():
-            if u != v and math.isfinite(d_vu):
-                hopset_edges.append((v, int(u), float(d_vu)))
-                notifications.append(
-                    Message(v, int(u), (v, d_vu), tag="hopset:new-edge")
-                )
+    for v, u in zip(*np.nonzero(reached)):
+        d_vu = float(dist[v, u])
+        hopset_edges.append((int(v), int(u), d_vu))
+        notifications.append(
+            Message(int(v), int(u), (int(v), d_vu), tag="hopset:new-edge")
+        )
 
     # Step 4: inform the other endpoint of each hopset edge.
     _, notify_stats = route_two_phase(notifications, n)

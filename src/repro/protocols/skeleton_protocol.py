@@ -18,7 +18,7 @@ matrices equal :func:`repro.core.skeleton.skeleton_xy_matrices` exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 import numpy as np
 
@@ -69,15 +69,22 @@ def run_skeleton_xy_protocol(
             )
     x_delivered, x_stats = route_two_phase(x_messages, n)
 
-    x_partial: Dict[int, Dict[int, float]] = {t: {} for t in range(n)}
-    for t in range(n):
-        for message in x_delivered.get(t, []):
-            if message.tag != "xy:x":
-                continue
-            s_a, value = int(message.payload[0]), float(message.payload[1])
-            current = x_partial[t].get(s_a, INF)
-            if value < current:
-                x_partial[t][s_a] = value
+    # Per-node minimisation, array-native: one minimum.at scatter over all
+    # delivered (t, s_a, value) records instead of dict-of-dict merges.
+    x_partial = np.full((n, size), INF)
+    x_records = [
+        (t, message.payload[0], message.payload[1])
+        for t in range(n)
+        for message in x_delivered.get(t, [])
+        if message.tag == "xy:x"
+    ]
+    if x_records:
+        t_arr, s_arr, v_arr = (np.asarray(col) for col in zip(*x_records))
+        np.minimum.at(
+            x_partial,
+            (t_arr.astype(np.int64), s_arr.astype(np.int64)),
+            v_arr.astype(np.float64),
+        )
 
     # ---- y-values: v -> neighbour t messages. ------------------------ #
     y_messages: List[Message] = []
@@ -90,33 +97,42 @@ def run_skeleton_xy_protocol(
         )
     y_delivered, y_stats = route_two_phase(y_messages, n)
 
-    y_partial: Dict[int, Dict[int, float]] = {t: {} for t in range(n)}
-    for t in range(n):
-        # the t = v case is local knowledge: y(t, c(t)) <= delta(t, c(t)).
-        own = int(center[t])
-        y_partial[t][own] = min(
-            y_partial[t].get(own, INF), float(center_delta[t])
+    y_partial = np.full((n, size), INF)
+    # the t = v case is local knowledge: y(t, c(t)) <= delta(t, c(t)).
+    np.minimum.at(
+        y_partial,
+        (np.arange(n), center.astype(np.int64)),
+        center_delta.astype(np.float64),
+    )
+    y_records = [
+        (t, message.payload[0], message.payload[1])
+        for t in range(n)
+        for message in y_delivered.get(t, [])
+        if message.tag == "xy:y"
+    ]
+    if y_records:
+        t_arr, s_arr, v_arr = (np.asarray(col) for col in zip(*y_records))
+        np.minimum.at(
+            y_partial,
+            (t_arr.astype(np.int64), s_arr.astype(np.int64)),
+            v_arr.astype(np.float64),
         )
-        for message in y_delivered.get(t, []):
-            if message.tag != "xy:y":
-                continue
-            s_b, value = int(message.payload[0]), float(message.payload[1])
-            if value < y_partial[t].get(s_b, INF):
-                y_partial[t][s_b] = value
 
     # ---- reporting: t sends each finite x(s_a, t) / y(t, s_b) to the
     # skeleton node (identified here by its compact index; the real model
     # would address the member's ID — a relabeling).  Receive load per
     # skeleton node is O(n). ------------------------------------------- #
     report_messages: List[Message] = []
-    for t in range(n):
-        for s_a, value in x_partial[t].items():
+    for kind, partial in ((0, x_partial), (1, y_partial)):
+        t_arr, s_arr = np.nonzero(np.isfinite(partial))
+        for t, s_index in zip(t_arr, s_arr):
             report_messages.append(
-                Message(t, s_a % n, (0, s_a, t, value), tag="xy:report")
-            )
-        for s_b, value in y_partial[t].items():
-            report_messages.append(
-                Message(t, s_b % n, (1, s_b, t, value), tag="xy:report")
+                Message(
+                    int(t),
+                    int(s_index) % n,
+                    (kind, int(s_index), int(t), float(partial[t, s_index])),
+                    tag="xy:report",
+                )
             )
     reports_delivered, report_stats = route_two_phase(
         report_messages, n, bandwidth_words=6

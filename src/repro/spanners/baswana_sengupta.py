@@ -1,4 +1,4 @@
-"""Baswana–Sengupta (2k-1)-spanner construction.
+"""Baswana–Sengupta (2k-1)-spanner construction, array-native.
 
 Lemma 7.1 of the paper imports constant-round spanner algorithms from
 [CZ22].  The *object* those algorithms produce is a multiplicative spanner
@@ -12,44 +12,35 @@ Sengupta (2007), which yields exactly those guarantees; the
 :mod:`repro.spanners.cz22` wrapper charges the [CZ22] round cost on the
 ledger (see DESIGN.md section 2 for the substitution note).
 
-The implementation follows the two-phase description:
+The implementation follows the two-phase description with the *round
+semantics of the distributed algorithm*: in each of the ``k - 1`` Phase-1
+iterations every vertex decides simultaneously from the residual edge set
+at the start of the iteration (sample cluster centers with probability
+``n^{-1/k}``; unsampled vertices either leave the process — adding their
+lightest edge to every adjacent cluster — or join the nearest sampled
+cluster, adding that edge plus the lighter-than-it edges to other
+adjacent clusters); removals take effect at the end of the iteration.
+Phase 2 adds every surviving vertex's lightest edge to each adjacent
+final cluster.
 
-* **Phase 1** (``k - 1`` iterations): maintain a clustering; sample cluster
-  centers with probability ``n^{-1/k}``; unsampled vertices either leave the
-  process (adding their lightest edge to every adjacent cluster) or join the
-  nearest sampled cluster (adding that edge plus the lighter-than-it edges
-  to other adjacent clusters).  Intra-cluster edges are discarded.
-* **Phase 2**: every surviving vertex adds its lightest edge to each
-  adjacent final cluster.
+Everything is computed on edge *arrays* (the graph's CSR view feeds
+them): the per-vertex/per-cluster "lightest edge" maps are one
+``group_argmin`` over ``(vertex, cluster)`` keys per iteration instead of
+the historical quadruple-nested Python loops over dict-of-dict residual
+adjacency.  Randomness is pre-drawn as one uniform per vertex ID per
+iteration (``rng.random(n)``), a fixed order independent of the residual
+state — the determinism contract tested by
+``tests/test_construction_determinism.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List
 
 import numpy as np
 
+from ..graphs.adjacency import group_argmin
 from ..graphs.graph import WeightedGraph
-
-
-def _lightest_edges_per_cluster(
-    edges: Dict[int, Dict[int, float]],
-    cluster_of: np.ndarray,
-    vertex: int,
-) -> Dict[int, Tuple[float, int]]:
-    """Map adjacent cluster -> (weight, neighbour) of the lightest edge.
-
-    Ties are broken by neighbour ID, matching the repo-wide convention.
-    """
-    best: Dict[int, Tuple[float, int]] = {}
-    for neighbour, weight in edges[vertex].items():
-        cluster = int(cluster_of[neighbour])
-        if cluster < 0:
-            continue
-        key = (weight, neighbour)
-        if cluster not in best or key < best[cluster]:
-            best[cluster] = key
-    return best
 
 
 def baswana_sengupta_spanner(
@@ -66,7 +57,9 @@ def baswana_sengupta_spanner(
     k:
         Stretch parameter; ``k = 1`` returns the graph itself.
     rng:
-        Randomness source for center sampling.
+        Randomness source for center sampling; draws exactly ``n`` uniforms
+        per Phase-1 iteration (one per vertex ID, in ID order), so equal
+        seeds give bit-identical spanners.
     """
     if graph.directed:
         raise ValueError("spanners are defined for undirected graphs")
@@ -74,92 +67,135 @@ def baswana_sengupta_spanner(
         raise ValueError("k must be >= 1")
     n = graph.n
     if k == 1 or graph.num_edges == 0:
-        return WeightedGraph(
-            n, list(graph.edges()), require_positive=False, require_integer=False
+        return WeightedGraph.from_arrays(
+            n,
+            graph.edge_u,
+            graph.edge_v,
+            graph.edge_w,
+            require_positive=False,
+            require_integer=False,
         )
 
     sample_probability = n ** (-1.0 / k)
 
-    # Mutable residual edge structure (both directions).
-    edges: Dict[int, Dict[int, float]] = {v: {} for v in range(n)}
-    for u, v, w in graph.edges():
-        edges[u][v] = min(w, edges[u].get(v, np.inf))
-        edges[v][u] = min(w, edges[v].get(u, np.inf))
+    # Residual edge set: the canonical (u < v) arrays plus a liveness mask.
+    eu = graph.edge_u
+    ev = graph.edge_v
+    ew = graph.edge_w
+    alive = np.ones(len(eu), dtype=bool)
 
-    spanner: Set[Tuple[int, int, float]] = set()
+    # Spanner accumulator (edges may repeat across iterations; the final
+    # from_arrays constructor min-dedups).
+    span_u: List[np.ndarray] = []
+    span_v: List[np.ndarray] = []
+    span_w: List[np.ndarray] = []
 
-    def add_edge(u: int, v: int, w: float) -> None:
-        spanner.add((min(u, v), max(u, v), w))
-
-    def drop_edges_to_cluster(vertex: int, cluster: int, cluster_of: np.ndarray) -> None:
-        for neighbour in [
-            x for x in edges[vertex] if int(cluster_of[x]) == cluster
-        ]:
-            del edges[vertex][neighbour]
-            del edges[neighbour][vertex]
+    def add_edges(src: np.ndarray, dst: np.ndarray, wgt: np.ndarray) -> None:
+        span_u.append(src)
+        span_v.append(dst)
+        span_w.append(wgt)
 
     cluster_of = np.arange(n, dtype=np.int64)  # every vertex its own center
 
     for _ in range(k - 1):
-        centers = set(int(c) for c in np.unique(cluster_of[cluster_of >= 0]))
-        sampled = {c for c in centers if rng.random() < sample_probability}
+        # --- sample centers: one pre-drawn uniform per vertex ID. ------ #
+        draws = rng.random(n)
+        is_center = np.zeros(n, dtype=bool)
+        clustered = cluster_of >= 0
+        is_center[cluster_of[clustered]] = True
+        sampled = is_center & (draws < sample_probability)
+
+        # --- directed view of the residual edges. ---------------------- #
+        live = np.flatnonzero(alive)
+        du = np.concatenate([eu[live], ev[live]])
+        dv = np.concatenate([ev[live], eu[live]])
+        dw = np.concatenate([ew[live], ew[live]])
+        eid = np.concatenate([live, live])
+
+        nbr_cluster = cluster_of[dv]
+        valid = nbr_cluster >= 0
+        g_rows = np.flatnonzero(valid)
+
+        # --- lightest edge per (vertex, adjacent cluster). ------------- #
+        keys = du[g_rows] * np.int64(n) + nbr_cluster[g_rows]
+        _, best = group_argmin(keys, dw[g_rows], dv[g_rows])
+        best = g_rows[best]
+        g_vertex = du[best]
+        g_cluster = nbr_cluster[best]
+        g_w = dw[best]
+        g_nbr = dv[best]
+
+        # --- classify vertices. ---------------------------------------- #
+        # Vertices still in an unsampled cluster act this iteration; the
+        # rest either left already (cluster < 0) or stay put (sampled).
+        safe_cluster = np.where(clustered, cluster_of, 0)
+        stays = clustered & sampled[safe_cluster]
+        acting = clustered & ~stays
+
+        # Best *sampled-cluster* edge per acting vertex (the join target).
+        target_w = np.full(n, np.inf)
+        target_nbr = np.full(n, -1, dtype=np.int64)
+        target_cluster = np.full(n, -1, dtype=np.int64)
+        sampled_rows = np.flatnonzero(sampled[g_cluster] & acting[g_vertex])
+        if len(sampled_rows):
+            verts, best_s = group_argmin(
+                g_vertex[sampled_rows], g_w[sampled_rows], g_nbr[sampled_rows]
+            )
+            rows = sampled_rows[best_s]
+            target_w[verts] = g_w[rows]
+            target_nbr[verts] = g_nbr[rows]
+            target_cluster[verts] = g_cluster[rows]
+        joins = acting & (target_nbr >= 0)
+        leaves = acting & (target_nbr < 0)
+
+        # --- spanner additions and cluster drops, per group row. ------- #
+        leave_row = leaves[g_vertex]
+        join_row = joins[g_vertex]
+        lighter = (g_w < target_w[g_vertex]) | (
+            (g_w == target_w[g_vertex]) & (g_nbr < target_nbr[g_vertex])
+        )
+        add_row = leave_row | (join_row & lighter)
+        drop_row = add_row | (join_row & (g_cluster == target_cluster[g_vertex]))
+
+        add_edges(g_vertex[add_row], g_nbr[add_row], g_w[add_row])
+        join_ids = np.flatnonzero(joins)
+        add_edges(join_ids, target_nbr[joins], target_w[joins])
+
+        # --- apply removals: E(v, dropped cluster) for both endpoints. - #
+        drop_pair = np.zeros((n, n), dtype=bool)
+        drop_pair[g_vertex[drop_row], g_cluster[drop_row]] = True
+        dead_rows = np.flatnonzero(valid & drop_pair[du, np.maximum(nbr_cluster, 0)])
+        alive[eid[dead_rows]] = False
+
+        # --- reassign clusters; discard intra-cluster edges. ----------- #
         new_cluster = np.full(n, -1, dtype=np.int64)
-        for vertex in range(n):
-            c = int(cluster_of[vertex])
-            if c >= 0 and c in sampled:
-                new_cluster[vertex] = c
-
-        for vertex in range(n):
-            old = int(cluster_of[vertex])
-            if old < 0 or old in sampled:
-                continue  # vertex already left, or stays via its sampled cluster
-            best = _lightest_edges_per_cluster(edges, cluster_of, vertex)
-            sampled_adjacent = {
-                c: key for c, key in best.items() if c in sampled
-            }
-            if not sampled_adjacent:
-                # Leave the process: lightest edge to every adjacent cluster.
-                for cluster, (weight, neighbour) in best.items():
-                    add_edge(vertex, neighbour, weight)
-                    drop_edges_to_cluster(vertex, cluster, cluster_of)
-            else:
-                target_cluster, (target_w, target_nbr) = min(
-                    sampled_adjacent.items(), key=lambda item: item[1]
-                )
-                add_edge(vertex, target_nbr, target_w)
-                new_cluster[vertex] = target_cluster
-                drop_edges_to_cluster(vertex, target_cluster, cluster_of)
-                for cluster, (weight, neighbour) in best.items():
-                    if cluster == target_cluster:
-                        continue
-                    if (weight, neighbour) < (target_w, target_nbr):
-                        add_edge(vertex, neighbour, weight)
-                        drop_edges_to_cluster(vertex, cluster, cluster_of)
-
+        new_cluster[stays] = cluster_of[stays]
+        new_cluster[joins] = target_cluster[joins]
         cluster_of = new_cluster
-        # Discard intra-cluster edges.
-        for vertex in range(n):
-            own = int(cluster_of[vertex])
-            if own < 0:
-                continue
-            same = [
-                x
-                for x in edges[vertex]
-                if int(cluster_of[x]) == own and x > vertex
-            ]
-            for neighbour in same:
-                del edges[vertex][neighbour]
-                del edges[neighbour][vertex]
+        intra = (
+            alive
+            & (cluster_of[eu] >= 0)
+            & (cluster_of[eu] == cluster_of[ev])
+        )
+        alive[intra] = False
 
-    # Phase 2: lightest edge to each adjacent final cluster.
-    for vertex in range(n):
-        best = _lightest_edges_per_cluster(edges, cluster_of, vertex)
-        for cluster, (weight, neighbour) in best.items():
-            add_edge(vertex, neighbour, weight)
+    # Phase 2: lightest edge to each adjacent final cluster, every vertex.
+    live = np.flatnonzero(alive)
+    du = np.concatenate([eu[live], ev[live]])
+    dv = np.concatenate([ev[live], eu[live]])
+    dw = np.concatenate([ew[live], ew[live]])
+    nbr_cluster = cluster_of[dv]
+    g_rows = np.flatnonzero(nbr_cluster >= 0)
+    keys = du[g_rows] * np.int64(n) + nbr_cluster[g_rows]
+    _, best = group_argmin(keys, dw[g_rows], dv[g_rows])
+    best = g_rows[best]
+    add_edges(du[best], dv[best], dw[best])
 
-    return WeightedGraph(
+    return WeightedGraph.from_arrays(
         n,
-        [(u, v, w) for (u, v, w) in sorted(spanner)],
+        np.concatenate(span_u) if span_u else np.zeros(0, dtype=np.int64),
+        np.concatenate(span_v) if span_v else np.zeros(0, dtype=np.int64),
+        np.concatenate(span_w) if span_w else np.zeros(0, dtype=np.float64),
         require_positive=False,
         require_integer=False,
     )

@@ -1,0 +1,186 @@
+"""Tests for the array-native adjacency layer (repro.graphs.adjacency)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    batched_sssp,
+    build_csr,
+    erdos_renyi,
+    exact_sssp,
+    group_argmin,
+    group_min_reduce,
+    k_lightest_per_row,
+    min_dedup_edges,
+    sssp_on_edges,
+)
+
+from tests.helpers import make_rng
+
+
+class TestCSRView:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_matches_adjacency_lists(self, seed, directed):
+        """csr() rows reproduce adjacency() exactly (content and order)."""
+        rng = make_rng(seed)
+        n = 30
+        edges = [
+            (int(u), int(v), int(w))
+            for u, v, w in zip(
+                rng.integers(0, n, 120),
+                rng.integers(0, n, 120),
+                rng.integers(1, 9, 120),
+            )
+            if u != v
+        ]
+        graph = WeightedGraph(n, edges, directed=directed)
+        csr = graph.csr()
+        adjacency = graph.adjacency()
+        for u in range(n):
+            ids, weights = csr.row(u)
+            assert [(int(i), float(w)) for i, w in zip(ids, weights)] == [
+                (int(i), float(w)) for i, w in adjacency[u]
+            ]
+
+    def test_rows_sorted_by_weight_then_id(self):
+        graph = WeightedGraph(4, [(0, 1, 5), (0, 2, 5), (0, 3, 2)])
+        ids, weights = graph.csr().row(0)
+        assert ids.tolist() == [3, 1, 2]
+        assert weights.tolist() == [2.0, 5.0, 5.0]
+
+    def test_cached_and_read_only(self, rng):
+        graph = erdos_renyi(16, 0.3, rng)
+        csr = graph.csr()
+        assert graph.csr() is csr
+        with pytest.raises(ValueError):
+            csr.weights[0] = -1
+
+    def test_rows_of_concatenates_requested_rows(self, rng):
+        graph = erdos_renyi(20, 0.3, rng)
+        csr = graph.csr()
+        nodes = np.array([3, 7, 7, 0])
+        src, dst, wgt = csr.rows_of(nodes)
+        expected_src, expected_dst, expected_wgt = [], [], []
+        for u in nodes:
+            ids, weights = csr.row(int(u))
+            expected_src.extend([int(u)] * len(ids))
+            expected_dst.extend(int(i) for i in ids)
+            expected_wgt.extend(float(w) for w in weights)
+        assert src.tolist() == expected_src
+        assert dst.tolist() == expected_dst
+        assert wgt.tolist() == expected_wgt
+
+    def test_empty_graph(self):
+        graph = WeightedGraph(5)
+        csr = graph.csr()
+        assert csr.num_entries == 0
+        assert csr.degrees.tolist() == [0] * 5
+
+
+class TestKLightestPerRow:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_k_shortest_out_edges(self, rng, k):
+        graph = erdos_renyi(24, 0.3, rng)
+        idx, wgt = k_lightest_per_row(graph.csr(), k)
+        for u in range(graph.n):
+            expected = graph.k_shortest_out_edges(u, k)
+            got = [
+                (int(i), float(w))
+                for i, w in zip(idx[u], wgt[u])
+                if i >= 0
+            ]
+            assert got == [(int(i), float(w)) for i, w in expected]
+
+    def test_padding(self):
+        graph = WeightedGraph(3, [(0, 1, 1)])
+        idx, wgt = k_lightest_per_row(graph.csr(), 2)
+        assert idx[2].tolist() == [-1, -1]
+        assert np.all(np.isinf(wgt[2]))
+        assert idx[0].tolist() == [1, -1]
+
+
+class TestEdgeArrayHelpers:
+    def test_min_dedup_keeps_lightest(self):
+        src = np.array([0, 0, 1, 0])
+        dst = np.array([1, 1, 2, 1])
+        wgt = np.array([5.0, 2.0, 7.0, 9.0])
+        s, d, w = min_dedup_edges(src, dst, wgt)
+        assert s.tolist() == [0, 1]
+        assert d.tolist() == [1, 2]
+        assert w.tolist() == [2.0, 7.0]
+
+    def test_group_argmin_tiebreak(self):
+        keys = np.array([4, 4, 2, 2])
+        weights = np.array([1.0, 1.0, 3.0, 2.0])
+        tiebreak = np.array([9, 5, 1, 8])
+        uniq, best = group_argmin(keys, weights, tiebreak)
+        assert uniq.tolist() == [2, 4]
+        # key 2: lighter weight wins; key 4: equal weight, smaller tiebreak.
+        assert best.tolist() == [3, 1]
+
+    def test_group_min_reduce(self):
+        keys = np.array([1, 1, 0])
+        weights = np.array([4.0, 3.0, 1.0])
+        values = np.array([7, 2, 5])
+        uniq, w, v = group_min_reduce(keys, weights, values)
+        assert uniq.tolist() == [0, 1]
+        assert w.tolist() == [1.0, 3.0]
+        assert v.tolist() == [5, 2]
+
+    def test_empty_inputs(self):
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_f = np.zeros(0, dtype=np.float64)
+        assert min_dedup_edges(empty_i, empty_i, empty_f)[0].size == 0
+        assert group_argmin(empty_i, empty_f, empty_i)[0].size == 0
+
+
+class TestSSSPHelpers:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sssp_on_edges_matches_exact(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(25, 0.2, rng)
+        src = np.concatenate([graph.edge_u, graph.edge_v])
+        dst = np.concatenate([graph.edge_v, graph.edge_u])
+        wgt = np.concatenate([graph.edge_w, graph.edge_w])
+        dist = sssp_on_edges(graph.n, src, dst, wgt, [0, 7])
+        assert np.allclose(dist[0], exact_sssp(graph, 0))
+        assert np.allclose(dist[1], exact_sssp(graph, 7))
+
+    def test_batched_blocks_are_isolated(self):
+        """An edge in one block must not shorten paths in another."""
+        # Block 0: path 0 -> 1 -> 2; block 1: only 0 -> 1.
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 2, 1])
+        wgt = np.array([1.0, 1.0, 1.0])
+        bid = np.array([0, 0, 1])
+        dist = batched_sssp(3, src, dst, wgt, bid, np.array([0, 0]))
+        assert dist.shape == (2, 3)
+        assert dist[0].tolist() == [0.0, 1.0, 2.0]
+        assert dist[1][2] == np.inf
+        assert dist[1][1] == 1.0
+
+    def test_batched_dedup_guards_duplicate_records(self):
+        """Duplicate (block, src, dst) records must min-merge, not sum."""
+        src = np.array([0, 0])
+        dst = np.array([1, 1])
+        wgt = np.array([5.0, 3.0])
+        bid = np.array([0, 0])
+        dist = batched_sssp(2, src, dst, wgt, bid, np.array([0]))
+        assert dist[0][1] == 3.0
+
+    def test_build_csr_standalone(self):
+        csr = build_csr(
+            3,
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.array([4.0, 2.0]),
+            directed=False,
+        )
+        assert csr.degrees.tolist() == [1, 2, 1]
+        ids, weights = csr.row(1)
+        assert ids.tolist() == [2, 0]  # weight order: 2.0 before 4.0
+        assert weights.tolist() == [2.0, 4.0]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.cclique import LoadPreconditionError, RoundLedger
@@ -130,6 +132,78 @@ class TestMerging:
         ledger.charge(3)
         assert ledger.total_rounds == 3
         assert ledger.total_standard_rounds == 12
+
+
+class TestPhaseTiming:
+    def test_phase_context_measures_wall_clock(self):
+        ledger = RoundLedger(16)
+        with ledger.phase("work"):
+            time.sleep(0.01)
+        seconds = ledger.seconds_by_phase()
+        assert seconds["work"] >= 0.01
+        assert ledger.timed_seconds == pytest.approx(seconds["work"])
+
+    def test_nested_phase_counted_in_parent_not_total(self):
+        ledger = RoundLedger(16)
+        with ledger.phase("outer"):
+            with ledger.phase("inner"):
+                time.sleep(0.005)
+        seconds = ledger.seconds_by_phase()
+        assert seconds["outer/inner"] >= 0.005
+        assert seconds["outer"] >= seconds["outer/inner"]
+        # only the outermost context accrues into the safe total
+        assert ledger.timed_seconds == pytest.approx(seconds["outer"])
+
+    def test_repeat_phase_accumulates(self):
+        ledger = RoundLedger(16)
+        for _ in range(2):
+            with ledger.phase("loop"):
+                time.sleep(0.002)
+        assert ledger.seconds_by_phase()["loop"] >= 0.004
+
+    def test_merge_prefixes_and_accumulates_times(self):
+        main = RoundLedger(16)
+        sub = RoundLedger(16)
+        with sub.phase("inner"):
+            time.sleep(0.002)
+        main.merge(sub, prefix="sim")
+        assert main.seconds_by_phase()["sim/inner"] >= 0.002
+        assert main.timed_seconds == pytest.approx(sub.timed_seconds)
+
+    def test_merge_inside_open_phase_credits_ancestors(self):
+        """Child-ledger compute merged while a phase is open must show up
+        in the enclosing phase's seconds (the Theorem 8.1 scaled-solves
+        shape: sub-ledgers run outside, merge_parallel inside a phase)."""
+        main = RoundLedger(16)
+        subs = []
+        for _ in range(2):
+            sub = RoundLedger(16, bandwidth_words=2)
+            with sub.phase("inner"):
+                time.sleep(0.002)
+            sub.charge(1)
+            subs.append(sub)
+        with main.phase("scaled-solves"):
+            main.merge_parallel(subs, prefix="G_i")
+        seconds = main.seconds_by_phase()
+        child = seconds["scaled-solves/G_i"]
+        total = sum(s.timed_seconds for s in subs)
+        assert child == pytest.approx(total)
+        assert seconds["scaled-solves"] >= child  # parent includes child
+        assert main.timed_seconds == pytest.approx(seconds["scaled-solves"])
+
+    def test_merge_parallel_sums_measured_compute(self):
+        main = RoundLedger(16)
+        subs = []
+        for _ in range(2):
+            sub = RoundLedger(16, bandwidth_words=2)
+            with sub.phase("work"):
+                time.sleep(0.002)
+            sub.charge(1)
+            subs.append(sub)
+        main.merge_parallel(subs, prefix="scales")
+        total = sum(s.timed_seconds for s in subs)
+        assert main.seconds_by_phase()["<top>/scales"] == pytest.approx(total)
+        assert main.timed_seconds == pytest.approx(total)
 
 
 class TestCostFormulas:

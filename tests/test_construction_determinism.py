@@ -1,0 +1,98 @@
+"""Determinism contract of the array-native construction layer.
+
+Same seed => bit-identical spanner edge lists and hopsets, across repeat
+runs and across ``solve_many`` executors (the construction phases draw
+per-entity random arrays in a fixed order, so results cannot depend on
+residual-state iteration order, thread scheduling, or executor choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ApspSolver, SolverConfig
+from repro.core import build_knearest_hopset
+from repro.graphs import erdos_renyi, exact_apsp
+from repro.spanners import baswana_sengupta_spanner
+
+from tests.helpers import make_rng
+
+SEEDS = [0, 1, 2]
+
+
+def edge_triplet(graph):
+    return (
+        graph.edge_u.tolist(),
+        graph.edge_v.tolist(),
+        graph.edge_w.tolist(),
+    )
+
+
+class TestSpannerDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_same_seed_bit_identical(self, seed, k):
+        graph = erdos_renyi(48, 0.25, make_rng(7))
+        first = baswana_sengupta_spanner(graph, k, make_rng(seed))
+        second = baswana_sengupta_spanner(graph, k, make_rng(seed))
+        assert edge_triplet(first) == edge_triplet(second)
+
+    def test_different_seeds_differ(self):
+        """Sanity: the construction is actually randomized."""
+        graph = erdos_renyi(48, 0.25, make_rng(7))
+        outputs = {
+            tuple(baswana_sengupta_spanner(graph, 3, make_rng(s)).edge_w.tolist())
+            for s in range(8)
+        }
+        assert len(outputs) > 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fixed_draw_count_per_iteration(self, seed):
+        """The RNG advances by exactly n uniforms per Phase-1 iteration,
+        independent of the graph's residual state."""
+        graph = erdos_renyi(40, 0.2, make_rng(3))
+        k = 3
+        rng = make_rng(seed)
+        baswana_sengupta_spanner(graph, k, rng)
+        probe = make_rng(seed)
+        probe.random((k - 1, graph.n))  # the draws the construction makes
+        assert rng.random() == probe.random()
+
+
+class TestHopsetDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repeat_runs_bit_identical(self, seed):
+        rng = make_rng(seed)
+        graph = erdos_renyi(36, 0.15, rng)
+        exact = exact_apsp(graph)
+        delta = exact * 1.5
+        np.fill_diagonal(delta, 0.0)
+        first = build_knearest_hopset(graph, delta, 1.5)
+        second = build_knearest_hopset(graph, delta, 1.5)
+        assert edge_triplet(first.hopset) == edge_triplet(second.hopset)
+        assert first.beta_bound == second.beta_bound
+
+
+class TestSolveManyDeterminism:
+    """The facade contract extended to the array-native paths: the
+    spanner-heavy and hopset/skeleton-heavy variants must be bit-identical
+    across executors (graph i always runs on RNG stream i)."""
+
+    @pytest.mark.parametrize("variant", ["spanner-only", "small-diameter"])
+    def test_executors_agree(self, variant):
+        graphs = [erdos_renyi(28, 0.2, make_rng(100 + i)) for i in range(3)]
+        solver = ApspSolver(SolverConfig(variant=variant, seed=5))
+        serial = solver.solve_many(graphs, executor="serial")
+        threaded = solver.solve_many(graphs, executor="thread", max_workers=3)
+        for a, b in zip(serial, threaded):
+            assert np.array_equal(a.estimate, b.estimate)
+            assert a.factor == b.factor
+
+    def test_repeat_batches_bit_identical(self):
+        graphs = [erdos_renyi(24, 0.25, make_rng(i)) for i in range(2)]
+        solver = ApspSolver(SolverConfig(variant="theorem11", seed=9))
+        first = solver.solve_many(graphs, executor="serial")
+        second = solver.solve_many(graphs, executor="thread")
+        for a, b in zip(first, second):
+            assert np.array_equal(a.estimate, b.estimate)

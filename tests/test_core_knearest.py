@@ -46,6 +46,35 @@ class TestBinPlan:
         plan = make_bin_plan(256, 16, 2)
         assert len(plan.assignments(limit=5)) == 5
 
+    def test_assignment_limit_is_a_prefix(self):
+        plan = make_bin_plan(256, 16, 2)
+        assert plan.assignments(limit=7) == plan.assignments()[:7]
+
+    def test_assignments_memoised_per_p_h(self):
+        """Equal (p, h) plans share one enumeration (the full list is
+        recomputed at most once across the pipeline's rebuilds)."""
+        from repro.core.knearest import _full_assignments
+
+        _full_assignments.cache_clear()
+        plan = make_bin_plan(256, 16, 2)
+        first = plan.assignments()
+        again = make_bin_plan(256, 16, 2).assignments()
+        assert first == again
+        info = _full_assignments.cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_large_plan_limit_does_not_materialise_everything(self):
+        """A huge enumeration served with a small limit stays lazy: the
+        full-list memo must not be populated for that (p, h)."""
+        from repro.core.knearest import _full_assignments
+
+        _full_assignments.cache_clear()
+        plan = make_bin_plan(1 << 24, 64, 2)
+        assert plan.combination_count > 10**6
+        prefix = plan.assignments(limit=3)
+        assert len(prefix) == 3
+        assert _full_assignments.cache_info().currsize == 0
+
     def test_bins_touching_node_at_most_two(self):
         plan = make_bin_plan(256, 16, 2)
         for u in (0, 100, 255):

@@ -344,6 +344,34 @@ class TestExactOracleCache:
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
         assert cache.nbytes == 0
 
+    def test_peek_never_computes(self):
+        cache = ExactOracleCache()
+        graph = erdos_renyi(12, 0.4, make_rng(3))
+        assert cache.peek(graph) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+        dist = cache.get(graph)
+        assert cache.peek(graph) is dist
+        assert cache.hits == 1
+
+    def test_exact_sssp_served_from_cached_apsp(self):
+        """Once the default oracle holds a graph's APSP, exact_sssp serves
+        the row from the cache (no recomputation) as a writable copy."""
+        from repro.graphs import DEFAULT_ORACLE, cached_exact_apsp, exact_sssp
+
+        DEFAULT_ORACLE.clear()
+        graph = erdos_renyi(18, 0.3, make_rng(21))
+        fresh = exact_sssp(graph, 4).copy()  # nothing cached yet
+        full = cached_exact_apsp(graph)
+        hits_before = DEFAULT_ORACLE.hits
+        served = exact_sssp(graph, 4)
+        assert DEFAULT_ORACLE.hits == hits_before + 1  # came from the cache
+        assert np.array_equal(served, fresh)
+        assert np.array_equal(served, full[4])
+        served[0] = -1.0  # a writable copy: must not touch the shared oracle
+        assert not np.shares_memory(served, full)
+        assert np.array_equal(cached_exact_apsp(graph), full)
+        DEFAULT_ORACLE.clear()
+
     def test_thread_safety_smoke(self):
         cache = ExactOracleCache()
         graph = erdos_renyi(24, 0.2, make_rng(2))
