@@ -45,6 +45,28 @@ def demo_routing() -> None:
           f"in {stats.rounds} rounds (Lemma 2.1 says O(1))")
 
 
+def demo_routing_at_scale() -> None:
+    """The array plane: the same full-load instance at n = 512."""
+    import time
+
+    from repro import MessageBatch
+    from repro.cclique import route_batch_two_phase
+
+    n = 512
+    rng = np.random.default_rng(0)
+    perms = np.stack([rng.permutation(n) for _ in range(n)])
+    batch = MessageBatch(
+        src=np.tile(np.arange(n, dtype=np.int64), n),
+        dst=perms.reshape(-1),
+        payload=np.tile(np.arange(n, dtype=np.float64), n).reshape(-1, 1),
+    )
+    start = time.perf_counter()
+    _, stats = route_batch_two_phase(batch, n)
+    wall = time.perf_counter() - start
+    print(f"[routing@512] {stats.messages} messages in {stats.rounds} "
+          f"rounds, {wall:.2f}s wall (array plane)")
+
+
 def demo_bellman_ford() -> None:
     n = 12
     rng = np.random.default_rng(1)
@@ -59,4 +81,5 @@ def demo_bellman_ford() -> None:
 if __name__ == "__main__":
     demo_broadcast()
     demo_routing()
+    demo_routing_at_scale()
     demo_bellman_ford()

@@ -77,6 +77,39 @@ def main(n: int = 96) -> None:
     print(f"exact APSP, kernel pinned to 'tiled': {pinned.wall_time_s:.3f}s; "
           f"auto-selected kernel: {auto.wall_time_s:.3f}s (same output)")
 
+    # For large matrices, request the base64 matrix encoding — a constant
+    # ~10.7 characters per float64 entry (vs ~18 for full-precision floats
+    # in the list encoding) and an order of magnitude faster to encode;
+    # from_json understands both.
+    compact = results[0].to_json(matrix_encoding="b64")
+    print(f"b64-encoded size  : {len(compact)} bytes "
+          f"(wins at n >= 512, where entries are full-precision floats)")
+
+    # The ledger rounds above are *charges*; the communication plane can
+    # also witness a schedule for real.  Run a protocol end-to-end on the
+    # array-native simulator: a full-load Lenzen routing instance (every
+    # node sends and receives exactly n messages) followed by the
+    # message-level hopset protocol on the first graph.
+    from repro import MessageBatch
+    from repro.cclique import route_batch_two_phase
+    from repro.graphs import exact_apsp
+    from repro.protocols import run_hopset_protocol
+
+    rng = np.random.default_rng(7)
+    perms = np.stack([rng.permutation(n) for _ in range(n)])
+    batch = MessageBatch(
+        src=np.tile(np.arange(n, dtype=np.int64), n),
+        dst=perms.reshape(-1),
+        payload=np.tile(np.arange(n, dtype=np.float64), n).reshape(-1, 1),
+    )
+    _, stats = route_batch_two_phase(batch, n)
+    print(f"\nsimulator: routed {stats.messages} full-load messages in "
+          f"{stats.rounds} rounds ({stats.spill_rounds} caused by spill)")
+    protocol = run_hopset_protocol(graphs[0], exact_apsp(graphs[0]))
+    print(f"simulator: hopset protocol shipped 3 routed instances in "
+          f"{protocol.rounds} rounds, hopset has "
+          f"{protocol.hopset.num_edges} edges")
+
     # Back-compat path: the legacy one-call API, equivalent to stream 0 of
     # the batch above when given the same RNG stream.
     legacy = approximate_apsp(graphs[0], rng=config.rng_for(0))

@@ -45,7 +45,7 @@ Package layout (see DESIGN.md):
 """
 
 from .api import ApspResult, ApspSolver, SolverConfig
-from .cclique import RoundLedger, SimulatedClique
+from .cclique import ArrayClique, MessageBatch, RoundLedger, SimulatedClique
 from .core import (
     Estimate,
     VariantSpec,
@@ -97,6 +97,8 @@ __all__ = [
     "Estimate",
     "ExactOracleCache",
     "KernelSpec",
+    "ArrayClique",
+    "MessageBatch",
     "RoundLedger",
     "SimulatedClique",
     "SolverConfig",

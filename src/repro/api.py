@@ -22,6 +22,7 @@ bit-identical estimates — both paths dispatch through
 
 from __future__ import annotations
 
+import base64
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -36,13 +37,16 @@ from .core.results import Estimate
 from .graphs.distances import cached_exact_apsp
 from .graphs.graph import WeightedGraph
 from .graphs.validation import ApproximationReport, check_estimate
-from .semiring.kernels import AUTO, get_kernel, use_kernel
+from .semiring.kernels import AUTO, current_kernel_pin, get_kernel, use_kernel
 
 #: Recognised validation modes for :class:`SolverConfig`.
 VALIDATION_MODES = ("none", "stretch", "strict")
 
 #: Recognised executors for :meth:`ApspSolver.solve_many`.
 EXECUTORS = ("serial", "thread", "process")
+
+#: Recognised estimate-matrix encodings for :meth:`ApspResult.to_dict`.
+MATRIX_ENCODINGS = ("list", "b64")
 
 
 @dataclass(frozen=True)
@@ -180,19 +184,50 @@ class ApspResult(Estimate):
             "meta": _jsonable({k: v for k, v in self.meta.items() if k != "ledger"}),
         }
 
-    def to_dict(self, include_estimate: bool = True) -> Dict[str, Any]:
-        """Full serializable payload, optionally with the estimate matrix."""
+    def to_dict(
+        self,
+        include_estimate: bool = True,
+        matrix_encoding: str = "list",
+    ) -> Dict[str, Any]:
+        """Full serializable payload, optionally with the estimate matrix.
+
+        ``matrix_encoding="list"`` emits the matrix as nested Python lists
+        (human-readable, ``inf`` → ``null``) — slow and huge at n ≥ 512,
+        where full-precision floats cost ~18 characters each; ``"b64"``
+        emits a compact base64 record of the raw float64 bytes (a constant
+        ~10.7 characters per entry and an order of magnitude faster to
+        encode).  :meth:`from_json` understands both.
+        """
+        if matrix_encoding not in MATRIX_ENCODINGS:
+            raise ValueError(
+                f"matrix_encoding must be one of {MATRIX_ENCODINGS}, "
+                f"got {matrix_encoding!r}"
+            )
         out = self.summary()
         ledger = self.ledger
         out["ledger"] = None if ledger is None else _ledger_to_dict(ledger)
         if include_estimate:
-            out["estimate"] = _matrix_to_jsonable(self.estimate)
+            out["estimate"] = (
+                _matrix_to_b64(self.estimate)
+                if matrix_encoding == "b64"
+                else _matrix_to_jsonable(self.estimate)
+            )
         return out
 
-    def to_json(self, include_estimate: bool = True, **dumps_kwargs: Any) -> str:
+    def to_json(
+        self,
+        include_estimate: bool = True,
+        matrix_encoding: str = "list",
+        **dumps_kwargs: Any,
+    ) -> str:
         """Serialize to JSON (``inf`` entries encoded as ``null``)."""
-        return json.dumps(self.to_dict(include_estimate=include_estimate),
-                          **dumps_kwargs)
+        return json.dumps(
+            self.to_dict(
+                include_estimate=include_estimate,
+                matrix_encoding=matrix_encoding,
+            ),
+            **dumps_kwargs,
+        )
 
     @classmethod
     def from_json(cls, payload: str) -> "ApspResult":
@@ -206,6 +241,8 @@ class ApspResult(Estimate):
         if estimate_rows is None:
             estimate = np.full((data["n"], data["n"]), np.inf)
             np.fill_diagonal(estimate, 0.0)
+        elif isinstance(estimate_rows, Mapping):
+            estimate = _matrix_from_b64(estimate_rows)
         else:
             estimate = _matrix_from_jsonable(estimate_rows)
         stretch = data.get("stretch")
@@ -243,7 +280,7 @@ class ApspSolver:
 
         ``solve(g)`` is exactly ``solve_many([g])[0]``.
         """
-        return _solve_one(self.config, graph, stream)
+        return _solve_one(self.config, graph, stream, current_kernel_pin())
 
     def solve_many(
         self,
@@ -255,30 +292,55 @@ class ApspSolver:
 
         Graph ``i`` always runs on RNG stream ``i``, so the output is
         independent of the executor, worker count, and completion order.
+
+        The ambient min-plus kernel pin (a :func:`repro.semiring.kernels.
+        use_kernel` context or ``REPRO_MINPLUS_KERNEL``) is captured here,
+        in the submitting process, and re-applied inside every worker —
+        thread contexts and spawned processes do not inherit the caller's
+        ContextVar, so without this hand-off a non-default kernel would
+        silently fall back to auto-selection under ``executor="process"``.
+        An explicit ``config.kernel`` still takes precedence.
         """
         graphs = list(graphs)
         if executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        kernel_pin = current_kernel_pin()
+        tasks = [(self.config, g, i, kernel_pin) for i, g in enumerate(graphs)]
         if executor == "serial" or len(graphs) <= 1:
-            return [_solve_one(self.config, g, i) for i, g in enumerate(graphs)]
+            return [_solve_task(task) for task in tasks]
         pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
         with pool_cls(max_workers=max_workers) as pool:
-            return list(
-                pool.map(_solve_task, [(self.config, g, i) for i, g in enumerate(graphs)])
-            )
+            return list(pool.map(_solve_task, tasks))
 
 
-def _solve_one(config: SolverConfig, graph: WeightedGraph, stream: int) -> ApspResult:
-    """Run one (config, graph, stream) task — shared by all executors."""
+def _solve_one(
+    config: SolverConfig,
+    graph: WeightedGraph,
+    stream: int,
+    kernel_pin: Optional[str] = None,
+) -> ApspResult:
+    """Run one (config, graph, stream) task — shared by all executors.
+
+    ``kernel_pin`` is the ambient kernel captured at submit time; the
+    config's own kernel wins when set.
+    """
     rng = config.rng_for(stream)
     ledger = RoundLedger(graph.n, bandwidth_words=config.bandwidth_words)
+    effective_kernel = (
+        config.kernel
+        if config.kernel is not None and config.kernel != AUTO
+        else kernel_pin
+    )
     start = time.perf_counter()
-    with use_kernel(config.kernel):
+    with use_kernel(effective_kernel):
         estimate = run_variant(
             config.variant, graph, rng=rng, ledger=ledger, **config.params()
         )
+        # Recorded inside the context and *inside the worker*, so batch
+        # results attest which pin was actually live where they ran.
+        estimate.meta["kernel_pin"] = current_kernel_pin()
     wall_time = time.perf_counter() - start
     stretch: Optional[ApproximationReport] = None
     if config.validation != "none":
@@ -310,8 +372,8 @@ def _solve_one(config: SolverConfig, graph: WeightedGraph, stream: int) -> ApspR
 
 def _solve_task(payload) -> ApspResult:
     """Top-level adapter so process pools can pickle the work item."""
-    config, graph, stream = payload
-    return _solve_one(config, graph, stream)
+    config, graph, stream, kernel_pin = payload
+    return _solve_one(config, graph, stream, kernel_pin)
 
 
 # --------------------------------------------------------------------- #
@@ -333,6 +395,31 @@ def _matrix_from_jsonable(rows: List[List[Optional[float]]]) -> np.ndarray:
         dtype=np.float64,
     )
     return out
+
+
+def _matrix_to_b64(matrix: np.ndarray) -> Dict[str, Any]:
+    """Compact encoding: raw little-endian float64 bytes, base64-wrapped.
+
+    ``inf`` needs no special casing — it round-trips through the binary
+    representation exactly, unlike the strict-JSON ``list`` encoding.
+    """
+    dense = np.ascontiguousarray(matrix, dtype="<f8")
+    return {
+        "encoding": "b64",
+        "dtype": "<f8",
+        "shape": list(dense.shape),
+        "data": base64.b64encode(dense.tobytes()).decode("ascii"),
+    }
+
+
+def _matrix_from_b64(record: Mapping[str, Any]) -> np.ndarray:
+    if record.get("encoding") != "b64":
+        raise ValueError(f"unknown matrix encoding: {record.get('encoding')!r}")
+    raw = base64.b64decode(record["data"])
+    out = np.frombuffer(raw, dtype=np.dtype(record.get("dtype", "<f8")))
+    return out.reshape(tuple(int(d) for d in record["shape"])).astype(
+        np.float64, copy=True
+    )
 
 
 def _ledger_to_dict(ledger: RoundLedger) -> Dict[str, Any]:

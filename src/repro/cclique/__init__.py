@@ -1,16 +1,24 @@
 """Congested Clique substrate: simulator, routing, and round accounting.
 
-Two layers (see DESIGN.md, section 2):
+Three layers (see DESIGN.md, sections 2 and 8):
 
-* :mod:`repro.cclique.model` — message-level simulator with per-pair
-  bandwidth enforcement; :mod:`~repro.cclique.routing` and
-  :mod:`~repro.cclique.broadcast` run real communication schedules on it.
+* :mod:`repro.cclique.engine` — the struct-of-arrays round engine
+  (:class:`ArrayClique`): vectorized bandwidth checks, spill scheduling,
+  and batched inbox delivery; :mod:`repro.cclique.model` keeps the
+  historical per-message object API as a thin adapter on top.
+* :mod:`repro.cclique.routing` / :mod:`repro.cclique.broadcast` — real
+  communication schedules (Lenzen-style routing, Section 2.3 broadcast)
+  written as array programs on the engine.
 * :mod:`repro.cclique.accounting` — the :class:`RoundLedger` cost model the
   APSP algorithms charge their communication against, with load validation.
+
+:mod:`repro.cclique.reference` preserves the original object-plane
+simulator as the differential-testing target for the array engine.
 """
 
 from .accounting import LedgerEntry, RoundLedger
 from .broadcast import all_to_all_one_word, broadcast_words, gather_one_word
+from .engine import ArrayClique, InboxView, MessageBatch
 from .errors import (
     BandwidthExceededError,
     CongestedCliqueError,
@@ -21,25 +29,35 @@ from .errors import (
 )
 from .message import Envelope, Message, word_bits
 from .model import NodeProgram, SimulatedClique
+from .reference import ObjectSimulatedClique, route_two_phase_reference
 from .routing import (
+    BatchDelivery,
     RoutingStats,
+    route_batch_randomized,
+    route_batch_two_phase,
     route_direct,
     route_randomized,
     route_two_phase,
+    two_phase_relays,
     validate_loads,
 )
 from .trace import RoundSnapshot, TraceRecorder, traced_drain
 
 __all__ = [
+    "ArrayClique",
     "BandwidthExceededError",
+    "BatchDelivery",
     "CongestedCliqueError",
     "Envelope",
+    "InboxView",
     "InvalidNodeError",
     "LedgerEntry",
     "LoadPreconditionError",
     "Message",
+    "MessageBatch",
     "MessageTooLargeError",
     "NodeProgram",
+    "ObjectSimulatedClique",
     "ProtocolError",
     "RoundLedger",
     "RoundSnapshot",
@@ -50,9 +68,13 @@ __all__ = [
     "all_to_all_one_word",
     "broadcast_words",
     "gather_one_word",
+    "route_batch_randomized",
+    "route_batch_two_phase",
     "route_direct",
     "route_randomized",
     "route_two_phase",
+    "route_two_phase_reference",
+    "two_phase_relays",
     "validate_loads",
     "word_bits",
 ]

@@ -1,0 +1,547 @@
+"""Struct-of-arrays round engine for the Congested Clique simulator.
+
+This is the array-native core of the communication plane: each round is a
+set of flat numpy columns ``(src, dst, words, payload, ...)``, bandwidth
+checks are vectorized ``np.bincount``-style reductions over ``src * n +
+dst`` link keys, spill scheduling in non-strict mode is a stable
+rank-within-link computation, and inbox delivery is one group-by-destination
+pass.  The semantics are *bit-identical* to the historical per-message
+object simulator (kept in :mod:`repro.cclique.reference` as the
+differential-testing target): the same messages spill in the same rounds,
+``spill_rounds``/``round_index``/``messages_delivered`` match exactly, and
+per-destination delivery order is the staging order of the round.
+
+Two front ends sit on top:
+
+* :class:`~repro.cclique.model.SimulatedClique` — the legacy object API
+  (``send(Message)`` / ``inbox() -> List[Message]``), now a thin adapter
+  that buffers messages and stages them as one batch per round; arbitrary
+  payload objects ride along as *refs* (opaque row attachments) so nothing
+  about the old API is lossy.
+* array programs — routing, broadcast, and the protocol layer stage numpy
+  payload batches directly via :meth:`ArrayClique.stage` and read inboxes
+  as arrays, which is what makes full-load validation feasible at n=1024.
+
+A row's *charged* size (``words``) is decoupled from its numeric payload
+width so ref-backed rows are billed for the words their object payload
+occupies, keeping the model accounting faithful either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import (
+    BandwidthExceededError,
+    InvalidNodeError,
+    MessageTooLargeError,
+    ProtocolError,
+)
+from .message import Message, word_bits
+
+#: ref column value meaning "no object attachment".
+NO_REF = -1
+
+
+def _as_index_column(value, m: int, name: str) -> np.ndarray:
+    """Coerce a scalar or array-like to an int64 column of length ``m``."""
+    arr = np.asarray(value, dtype=np.int64)
+    if arr.ndim == 0:
+        return np.full(m, int(arr), dtype=np.int64)
+    if arr.shape != (m,):
+        raise ValueError(f"{name} must be scalar or shape ({m},), got {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def _as_payload(payload, m: int) -> np.ndarray:
+    """Coerce payload to a float64 ``(m, w)`` matrix (``w`` may be 0)."""
+    if payload is None:
+        return np.empty((m, 0), dtype=np.float64)
+    arr = np.asarray(payload, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full((m, 1), float(arr))
+    if arr.ndim == 1:
+        arr = arr.reshape(m, 1) if arr.shape == (m,) else arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError("payload must be at most 2-D")
+    if arr.shape[0] == 1 and m != 1:
+        arr = np.broadcast_to(arr, (m, arr.shape[1]))
+    if arr.shape[0] != m:
+        raise ValueError(f"payload has {arr.shape[0]} rows, expected {m}")
+    return np.ascontiguousarray(arr)
+
+
+@dataclass
+class _Rows:
+    """One staged chunk of messages, column-oriented."""
+
+    src: np.ndarray  # int64 (m,)
+    dst: np.ndarray  # int64 (m,)
+    words: np.ndarray  # int64 (m,) — charged machine words
+    payload: np.ndarray  # float64 (m, w) — numeric payload words
+    tag: np.ndarray  # int64 (m,) — interned tag ids
+    ref: np.ndarray  # int64 (m,) — object attachment ids, NO_REF if none
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+
+def _concat_rows(chunks: Sequence[_Rows]) -> _Rows:
+    """Concatenate chunks, padding payload widths with NaN."""
+    if len(chunks) == 1:
+        return chunks[0]
+    width = max(c.payload.shape[1] for c in chunks)
+    pads = []
+    for c in chunks:
+        if c.payload.shape[1] == width:
+            pads.append(c.payload)
+        else:
+            padded = np.full((len(c), width), np.nan)
+            padded[:, : c.payload.shape[1]] = c.payload
+            pads.append(padded)
+    return _Rows(
+        src=np.concatenate([c.src for c in chunks]),
+        dst=np.concatenate([c.dst for c in chunks]),
+        words=np.concatenate([c.words for c in chunks]),
+        payload=np.concatenate(pads) if width else np.empty((sum(map(len, chunks)), 0)),
+        tag=np.concatenate([c.tag for c in chunks]),
+        ref=np.concatenate([c.ref for c in chunks]),
+    )
+
+
+def _take(rows: _Rows, index: np.ndarray) -> _Rows:
+    return _Rows(
+        src=rows.src[index],
+        dst=rows.dst[index],
+        words=rows.words[index],
+        payload=rows.payload[index],
+        tag=rows.tag[index],
+        ref=rows.ref[index],
+    )
+
+
+@dataclass
+class InboxView:
+    """Array view of one node's delivered messages.
+
+    ``payload`` is padded to the widest delivered row; ``tag`` holds
+    interned ids (resolve via :meth:`ArrayClique.tag_name`), ``ref`` holds
+    object-attachment ids (resolve via :meth:`ArrayClique.ref_object`) or
+    :data:`NO_REF`.
+    """
+
+    src: np.ndarray
+    payload: np.ndarray
+    words: np.ndarray
+    tag: np.ndarray
+    ref: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+
+class ArrayClique:
+    """Vectorized synchronous fully connected message-passing network.
+
+    Drop-in semantic twin of the historical object simulator: ``n`` nodes,
+    one message per ordered pair per round, ``bandwidth_words`` machine
+    words per message, strict mode raising on per-link overflow and
+    non-strict mode spilling the excess into subsequent rounds FIFO
+    (``spill_rounds`` counts the extra rounds caused by congestion).
+    """
+
+    def __init__(self, n: int, bandwidth_words: int = 1, strict: bool = True) -> None:
+        if n < 1:
+            raise ValueError("clique size must be >= 1")
+        if bandwidth_words < 1:
+            raise ValueError("bandwidth_words must be >= 1")
+        self.n = int(n)
+        self.bandwidth_words = int(bandwidth_words)
+        self.strict = bool(strict)
+        self.round_index = 0
+        self.messages_delivered = 0
+        self.words_delivered = 0
+        self.spill_rounds = 0
+        self._staged: List[_Rows] = []
+        self._staged_count = 0
+        self._pending: Optional[_Rows] = None  # spill carry, FIFO
+        self._round_keys: Optional[np.ndarray] = None  # strict-mode link keys
+        self._inbox_chunks: List[List[_Rows]] = [
+            [] for _ in range(self.n)
+        ]
+        self._tags: List[str] = [""]
+        self._tag_ids: Dict[str, int] = {"": 0}
+        self._refs: List[Any] = []
+        #: ``(src, dst, words)`` of the most recent round's deliveries —
+        #: the hook the trace layer uses for per-link utilization events.
+        self.last_delivered: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # Tag / ref interning
+    # ------------------------------------------------------------------ #
+
+    def tag_id(self, tag: str) -> int:
+        """Intern ``tag`` and return its id."""
+        tid = self._tag_ids.get(tag)
+        if tid is None:
+            tid = len(self._tags)
+            self._tags.append(tag)
+            self._tag_ids[tag] = tid
+        return tid
+
+    def tag_name(self, tag_id: int) -> str:
+        return self._tags[tag_id]
+
+    @property
+    def tag_table(self) -> List[str]:
+        """Snapshot of the interned tag table (indexed by tag id)."""
+        return list(self._tags)
+
+    def ref_object(self, ref_id: int) -> Any:
+        return self._refs[ref_id]
+
+    @property
+    def refs(self) -> List[Any]:
+        """The object-attachment store (indexed by ref id)."""
+        return self._refs
+
+    def add_refs(self, objects: Sequence[Any]) -> np.ndarray:
+        """Attach opaque objects; returns their ref-id column."""
+        start = len(self._refs)
+        self._refs.extend(objects)
+        return np.arange(start, start + len(objects), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Staging / stepping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bits_per_message(self) -> int:
+        """Per-message bit budget in this model variant."""
+        return self.bandwidth_words * word_bits(self.n)
+
+    def stage(
+        self,
+        src,
+        dst,
+        payload=None,
+        *,
+        words=None,
+        tag: str = "",
+        refs: Optional[Sequence[Any]] = None,
+        ref_ids: Optional[np.ndarray] = None,
+    ) -> int:
+        """Stage a batch of rows for delivery at the end of this round.
+
+        ``src``/``dst`` are scalars or int columns; ``payload`` an optional
+        ``(m, w)`` numeric matrix (a 1-D column is treated as ``w=1``).
+        ``words`` overrides the charged size (default ``max(1, w)``), which
+        matters when the billed content lives in ``refs`` — arbitrary
+        Python objects attached per row — rather than the numeric columns.
+        Returns the number of rows staged.
+        """
+        if refs is not None and ref_ids is not None:
+            raise ValueError("pass refs or ref_ids, not both")
+        m = None
+        for candidate in (src, dst, refs, ref_ids):
+            if candidate is not None and not np.isscalar(candidate):
+                arr = np.asarray(candidate)
+                if arr.ndim > 0:
+                    m = len(arr)
+                    break
+        if m is None:
+            m = 1
+        if m == 0:
+            return 0
+        src_col = _as_index_column(src, m, "src")
+        dst_col = _as_index_column(dst, m, "dst")
+        pay = _as_payload(payload, m)
+        if np.isscalar(words) or words is None:
+            fill = int(words) if words is not None else max(1, pay.shape[1])
+            words_col = np.full(m, fill, dtype=np.int64)
+        else:
+            words_col = _as_index_column(words, m, "words")
+
+        # Vectorized model checks.
+        bad = (src_col < 0) | (src_col >= self.n)
+        if bad.any():
+            raise InvalidNodeError(int(src_col[np.argmax(bad)]), self.n)
+        bad = (dst_col < 0) | (dst_col >= self.n)
+        if bad.any():
+            raise InvalidNodeError(int(dst_col[np.argmax(bad)]), self.n)
+        over = words_col > self.bandwidth_words
+        if over.any():
+            worst = int(words_col[np.argmax(over)])
+            raise MessageTooLargeError(
+                worst * word_bits(self.n), self.bits_per_message
+            )
+
+        if self.strict:
+            key = src_col * self.n + dst_col
+            combined = (
+                key
+                if self._round_keys is None
+                else np.concatenate([self._round_keys, key])
+            )
+            uniq, counts = np.unique(combined, return_counts=True)
+            if (counts > 1).any():
+                dup = int(uniq[counts > 1][0])
+                raise BandwidthExceededError(
+                    dup // self.n, dup % self.n, self.round_index
+                )
+            self._round_keys = combined
+
+        if ref_ids is not None:
+            ref_col = _as_index_column(ref_ids, m, "ref_ids")
+        elif refs is not None:
+            if len(refs) != m:
+                raise ValueError(f"need {m} refs, got {len(refs)}")
+            ref_col = self.add_refs(refs)
+        else:
+            ref_col = np.full(m, NO_REF, dtype=np.int64)
+
+        self._staged.append(
+            _Rows(
+                src=src_col,
+                dst=dst_col,
+                words=words_col,
+                payload=pay,
+                tag=np.full(m, self.tag_id(tag), dtype=np.int64),
+                ref=ref_col,
+            )
+        )
+        self._staged_count += m
+        return m
+
+    def step(self) -> int:
+        """Deliver one synchronous round; returns the new round index.
+
+        Spill-carried rows from previous rounds are considered staged
+        *first* (they hold their link's slot, exactly as the object
+        simulator's re-staging did), newly staged rows follow; within each
+        ordered pair the earliest staged row is delivered and the rest are
+        carried FIFO into the next round.
+        """
+        chunks: List[_Rows] = []
+        if self._pending is not None:
+            chunks.append(self._pending)
+        chunks.extend(self._staged)
+        self._staged = []
+        self._staged_count = 0
+        self._round_keys = None
+        if not chunks:
+            self.round_index += 1
+            self.last_delivered = None
+            return self.round_index
+
+        rows = _concat_rows(chunks)
+        key = rows.src * self.n + rows.dst
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        new_group = np.empty(len(sorted_key), dtype=bool)
+        new_group[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=new_group[1:])
+        starts = np.flatnonzero(new_group)
+        group_of = np.cumsum(new_group) - 1
+        rank_sorted = np.arange(len(sorted_key)) - starts[group_of]
+        rank = np.empty(len(sorted_key), dtype=np.int64)
+        rank[order] = rank_sorted
+        deliver = rank == 0
+
+        delivered = _take(rows, np.flatnonzero(deliver))
+        self._deliver(delivered)
+        self.messages_delivered += len(delivered)
+        self.words_delivered += int(delivered.words.sum())
+        self.last_delivered = (delivered.src, delivered.dst, delivered.words)
+
+        carry_index = np.flatnonzero(~deliver)
+        if len(carry_index):
+            self.spill_rounds += 1
+            self._pending = _take(rows, carry_index)
+        else:
+            self._pending = None
+        self.round_index += 1
+        return self.round_index
+
+    def _deliver(self, rows: _Rows) -> None:
+        """Append delivered rows to per-destination inbox chunk lists."""
+        if not len(rows):
+            return
+        order = np.argsort(rows.dst, kind="stable")
+        sorted_dst = rows.dst[order]
+        boundaries = np.flatnonzero(
+            np.r_[True, sorted_dst[1:] != sorted_dst[:-1]]
+        )
+        stops = np.r_[boundaries[1:], len(sorted_dst)]
+        for begin, end in zip(boundaries, stops):
+            node = int(sorted_dst[begin])
+            index = order[begin:end]
+            self._inbox_chunks[node].append(_take(rows, index))
+
+    def drain(self, max_rounds: int = 10_000) -> int:
+        """Step until no staged or spilled rows remain; returns rounds used."""
+        used = 0
+        while self.pending_messages():
+            if used >= max_rounds:
+                raise ProtocolError(
+                    f"drain did not finish within {max_rounds} rounds"
+                )
+            self.step()
+            used += 1
+        return used
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+
+    def inbox_arrays(self, node: int, clear: bool = True) -> InboxView:
+        """Array view of messages delivered to ``node`` since the last read."""
+        if not 0 <= node < self.n:
+            raise InvalidNodeError(node, self.n)
+        chunks = self._inbox_chunks[node]
+        if clear:
+            self._inbox_chunks[node] = []
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return InboxView(
+                empty, np.empty((0, 0)), empty.copy(), empty.copy(), empty.copy()
+            )
+        merged = _concat_rows(chunks)
+        return InboxView(
+            src=merged.src,
+            payload=merged.payload,
+            words=merged.words,
+            tag=merged.tag,
+            ref=merged.ref,
+        )
+
+    def collect(self, clear: bool = True) -> Tuple[np.ndarray, InboxView]:
+        """All nodes' inboxes at once: ``(node_column, rows)``.
+
+        The batched group-by-destination read protocols use after a drain;
+        rows are ordered by destination, delivery order within each.
+        """
+        nodes: List[np.ndarray] = []
+        views: List[InboxView] = []
+        for node in range(self.n):
+            if not self._inbox_chunks[node]:
+                continue
+            view = self.inbox_arrays(node, clear=clear)
+            nodes.append(np.full(len(view), node, dtype=np.int64))
+            views.append(view)
+        if not views:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, InboxView(
+                empty.copy(), np.empty((0, 0)), empty.copy(), empty.copy(), empty.copy()
+            )
+        width = max(v.payload.shape[1] for v in views)
+        payloads = []
+        for view in views:
+            if view.payload.shape[1] == width:
+                payloads.append(view.payload)
+            else:
+                padded = np.full((len(view), width), np.nan)
+                padded[:, : view.payload.shape[1]] = view.payload
+                payloads.append(padded)
+        merged = InboxView(
+            src=np.concatenate([v.src for v in views]),
+            payload=(
+                np.concatenate(payloads)
+                if width
+                else np.empty((sum(map(len, views)), 0))
+            ),
+            words=np.concatenate([v.words for v in views]),
+            tag=np.concatenate([v.tag for v in views]),
+            ref=np.concatenate([v.ref for v in views]),
+        )
+        return np.concatenate(nodes), merged
+
+    def pending_messages(self) -> int:
+        """Rows staged (plus spill-carried) but not yet delivered."""
+        return self._staged_count + (
+            0 if self._pending is None else len(self._pending)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Object materialisation (used by the adapter layer)
+    # ------------------------------------------------------------------ #
+
+    def materialize(self, node: int, view: InboxView) -> List[Message]:
+        """Turn an :class:`InboxView` back into :class:`Message` objects.
+
+        Ref-backed rows return the original object untouched; array-native
+        rows build a Message from the numeric payload (trailing NaN padding
+        stripped) and the interned tag.
+        """
+        out: List[Message] = []
+        payload = view.payload
+        for i in range(len(view)):
+            ref = int(view.ref[i])
+            if ref != NO_REF:
+                out.append(self._refs[ref])
+                continue
+            row = payload[i]
+            keep = ~np.isnan(row)
+            out.append(
+                Message(
+                    sender=int(view.src[i]),
+                    receiver=node,
+                    payload=tuple(row[keep].tolist()),
+                    tag=self._tags[int(view.tag[i])],
+                )
+            )
+        return out
+
+
+@dataclass
+class MessageBatch:
+    """A flat batch of point-to-point messages (the array-plane unit).
+
+    ``payload`` is an ``(m, w)`` float64 matrix — one row of numeric words
+    per message.  ``words`` optionally overrides the charged size per row
+    (defaults to ``max(1, w)``); ``refs`` optionally attaches one opaque
+    object per row (how the legacy ``Message`` API rides the array plane).
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    payload: np.ndarray
+    tag: str = ""
+    words: Optional[np.ndarray] = None
+    refs: Optional[Sequence[Any]] = None
+
+    def __post_init__(self) -> None:
+        self.src = np.ascontiguousarray(self.src, dtype=np.int64)
+        self.dst = np.ascontiguousarray(self.dst, dtype=np.int64)
+        self.payload = _as_payload(self.payload, len(self.src))
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError("src and dst must be equal-length 1-D columns")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @classmethod
+    def from_messages(cls, messages: Sequence[Message]) -> "MessageBatch":
+        """Column-ize Message objects; payloads ride as refs (lossless)."""
+        m = len(messages)
+        src = np.fromiter((msg.sender for msg in messages), np.int64, m)
+        dst = np.fromiter((msg.receiver for msg in messages), np.int64, m)
+        words = np.fromiter((msg.size_words() for msg in messages), np.int64, m)
+        return cls(
+            src=src,
+            dst=dst,
+            payload=np.empty((m, 0)),
+            words=words,
+            refs=list(messages),
+        )
+
+
+__all__ = [
+    "ArrayClique",
+    "InboxView",
+    "MessageBatch",
+    "NO_REF",
+]

@@ -1,36 +1,45 @@
-"""Message-level simulator for the Congested Clique model.
+"""Object-API adapter over the array-native Congested Clique engine.
 
 This is the "physical" layer of the reproduction: ``n`` nodes, synchronous
 rounds, and a complete communication graph where each ordered pair of nodes
-may exchange **one** message of ``O(B)`` bits per round.  The simulator
-enforces both constraints and raises on violations, so algorithms validated
-here are genuinely implementable in the model.
+may exchange **one** message of ``O(B)`` bits per round.  The round
+mechanics — bandwidth enforcement, spill scheduling, delivery, statistics —
+live in the struct-of-arrays engine (:class:`~repro.cclique.engine.
+ArrayClique`); this module keeps the historical per-message object API as a
+thin adapter on top, so protocols written against ``Message`` objects and
+:class:`NodeProgram` run unchanged while sharing one set of semantics with
+the vectorized protocol layer.
 
 Two styles of use are supported:
 
 * **Programmatic** — drive the clique round by round from a test or an
-  algorithm harness: stage messages with :meth:`SimulatedClique.send`, call
+  algorithm harness: stage messages with :meth:`SimulatedClique.send` (or
+  numpy batches with :meth:`SimulatedClique.send_array`), call
   :meth:`SimulatedClique.step`, read inboxes.
 * **Node programs** — subclass :class:`NodeProgram` and run a full synchronous
   protocol with :meth:`SimulatedClique.run`.
 
 The heavyweight APSP algorithms use the :class:`~repro.cclique.accounting.
 RoundLedger` cost layer instead (see DESIGN.md section 2); the simulator is
-used to validate the communication primitives those charges stand for, and to
-run small end-to-end distributed programs in tests and examples.
+used to validate the communication primitives those charges stand for, and
+— now that the communication plane is array-native — to run full-load
+protocol validation at four-digit ``n``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from .engine import ArrayClique, InboxView
 from .errors import (
     BandwidthExceededError,
     InvalidNodeError,
     MessageTooLargeError,
     ProtocolError,
 )
-from .message import Message, word_bits
+from .message import Message
 
 
 class SimulatedClique:
@@ -54,29 +63,44 @@ class SimulatedClique:
     """
 
     def __init__(self, n: int, bandwidth_words: int = 1, strict: bool = True) -> None:
-        if n < 1:
-            raise ValueError("clique size must be >= 1")
-        if bandwidth_words < 1:
-            raise ValueError("bandwidth_words must be >= 1")
-        self.n = n
-        self.bandwidth_words = bandwidth_words
-        self.strict = strict
-        self.round_index = 0
-        self._outboxes: Dict[Tuple[int, int], Message] = {}
-        self._spill: List[Message] = []
-        self._inboxes: List[List[Message]] = [[] for _ in range(n)]
-        self.messages_delivered = 0
-        self.words_delivered = 0
-        self.spill_rounds = 0
+        #: The struct-of-arrays round engine this adapter wraps.  Array
+        #: programs (routing, broadcast, protocols) stage numpy batches on
+        #: it directly; both views share rounds, inboxes, and statistics.
+        self.engine = ArrayClique(n, bandwidth_words=bandwidth_words, strict=strict)
+        self.n = self.engine.n
+        self.bandwidth_words = self.engine.bandwidth_words
+        self.strict = self.engine.strict
+        self._buffer: List[Message] = []
+        self._round_pairs: Set[Tuple[int, int]] = set()
 
     # ------------------------------------------------------------------ #
-    # Sending / stepping
+    # Statistics (delegated to the engine)
     # ------------------------------------------------------------------ #
+
+    @property
+    def round_index(self) -> int:
+        return self.engine.round_index
+
+    @property
+    def messages_delivered(self) -> int:
+        return self.engine.messages_delivered
+
+    @property
+    def words_delivered(self) -> int:
+        return self.engine.words_delivered
+
+    @property
+    def spill_rounds(self) -> int:
+        return self.engine.spill_rounds
 
     @property
     def bits_per_message(self) -> int:
         """Per-message bit budget in this model variant."""
-        return self.bandwidth_words * word_bits(self.n)
+        return self.engine.bits_per_message
+
+    # ------------------------------------------------------------------ #
+    # Sending / stepping
+    # ------------------------------------------------------------------ #
 
     def send(self, message: Message) -> None:
         """Stage ``message`` for delivery at the end of the current round."""
@@ -85,20 +109,36 @@ class SimulatedClique:
         bits = message.size_bits(self.n)
         if bits > self.bits_per_message:
             raise MessageTooLargeError(bits, self.bits_per_message)
-        key = (message.sender, message.receiver)
-        if key in self._outboxes:
-            if self.strict:
+        if self.strict:
+            key = (message.sender, message.receiver)
+            if key in self._round_pairs:
                 raise BandwidthExceededError(
                     message.sender, message.receiver, self.round_index
                 )
-            self._spill.append(message)
-            return
-        self._outboxes[key] = message
+            self._round_pairs.add(key)
+        self._buffer.append(message)
 
     def send_all(self, messages: Iterable[Message]) -> None:
         """Stage many messages; order within a (sender, receiver) pair matters."""
         for message in messages:
             self.send(message)
+
+    def send_array(
+        self,
+        src,
+        dst,
+        payload=None,
+        *,
+        words=None,
+        tag: str = "",
+    ) -> int:
+        """Stage a numpy batch directly on the engine (array-plane fast path).
+
+        See :meth:`~repro.cclique.engine.ArrayClique.stage`.  Rows staged
+        this way appear to object-API readers as :class:`Message` objects
+        with float payloads and the batch's tag.
+        """
+        return self.engine.stage(src, dst, payload, words=words, tag=tag)
 
     def step(self) -> int:
         """Deliver all staged messages and advance one synchronous round.
@@ -107,19 +147,17 @@ class SimulatedClique:
         are re-staged first, so repeated calls eventually drain everything;
         ``spill_rounds`` counts the extra rounds caused by congestion.
         """
-        delivered = self._outboxes
-        self._outboxes = {}
-        for (_, receiver), message in delivered.items():
-            self._inboxes[receiver].append(message)
-            self.messages_delivered += 1
-            self.words_delivered += message.size_words()
-        self.round_index += 1
-        if self._spill:
-            self.spill_rounds += 1
-            pending, self._spill = self._spill, []
-            for message in pending:
-                self.send(message)
-        return self.round_index
+        if self._buffer:
+            staged, self._buffer = self._buffer, []
+            m = len(staged)
+            self.engine.stage(
+                np.fromiter((msg.sender for msg in staged), np.int64, m),
+                np.fromiter((msg.receiver for msg in staged), np.int64, m),
+                words=np.fromiter((msg.size_words() for msg in staged), np.int64, m),
+                refs=staged,
+            )
+        self._round_pairs.clear()
+        return self.engine.step()
 
     def drain(self, max_rounds: int = 10_000) -> int:
         """Step until no staged or spilled messages remain.
@@ -128,7 +166,7 @@ class SimulatedClique:
         mode (strict mode never spills).
         """
         used = 0
-        while self._outboxes or self._spill:
+        while self.pending_messages():
             if used >= max_rounds:
                 raise ProtocolError(
                     f"drain did not finish within {max_rounds} rounds"
@@ -144,14 +182,16 @@ class SimulatedClique:
     def inbox(self, node: int, clear: bool = True) -> List[Message]:
         """Messages delivered to ``node`` since the last read."""
         self._check_node(node)
-        messages = self._inboxes[node]
-        if clear:
-            self._inboxes[node] = []
-        return messages
+        view = self.engine.inbox_arrays(node, clear=clear)
+        return self.engine.materialize(node, view)
+
+    def inbox_array(self, node: int, clear: bool = True) -> InboxView:
+        """Array view of ``node``'s inbox (array-plane fast path)."""
+        return self.engine.inbox_arrays(node, clear=clear)
 
     def pending_messages(self) -> int:
         """Messages staged (plus spilled) but not yet delivered."""
-        return len(self._outboxes) + len(self._spill)
+        return len(self._buffer) + self.engine.pending_messages()
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.n:

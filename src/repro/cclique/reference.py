@@ -1,0 +1,239 @@
+"""Frozen object-plane simulator — the differential-testing reference.
+
+This module preserves the original per-message Python-object simulator
+(dict outboxes, list inboxes, ``Message`` instances) and the original
+per-message two-phase router exactly as they shipped before the array
+engine (:mod:`repro.cclique.engine`) replaced them on the hot path.
+
+It exists for two reasons:
+
+* **equivalence enforcement** — the test suite routes seeded full-load
+  instances through both planes and asserts round counts, spill counts,
+  and delivered inboxes are identical (see ``tests/test_array_plane.py``);
+* **benchmarking** — ``benchmarks/bench_routing.py`` measures both planes
+  and reports the array plane's speedup in ``BENCH_routing.json``.
+
+Nothing in the production path imports this module; do not "optimize" it —
+its value is being the slow, obviously correct semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .errors import (
+    BandwidthExceededError,
+    InvalidNodeError,
+    MessageTooLargeError,
+    ProtocolError,
+)
+from .message import Message, word_bits
+
+
+class ObjectSimulatedClique:
+    """The historical per-message simulator (see module docstring)."""
+
+    def __init__(self, n: int, bandwidth_words: int = 1, strict: bool = True) -> None:
+        if n < 1:
+            raise ValueError("clique size must be >= 1")
+        if bandwidth_words < 1:
+            raise ValueError("bandwidth_words must be >= 1")
+        self.n = n
+        self.bandwidth_words = bandwidth_words
+        self.strict = strict
+        self.round_index = 0
+        self._outboxes: Dict[Tuple[int, int], Message] = {}
+        self._spill: List[Message] = []
+        self._inboxes: List[List[Message]] = [[] for _ in range(n)]
+        self.messages_delivered = 0
+        self.words_delivered = 0
+        self.spill_rounds = 0
+
+    @property
+    def bits_per_message(self) -> int:
+        return self.bandwidth_words * word_bits(self.n)
+
+    def send(self, message: Message) -> None:
+        self._check_node(message.sender)
+        self._check_node(message.receiver)
+        bits = message.size_bits(self.n)
+        if bits > self.bits_per_message:
+            raise MessageTooLargeError(bits, self.bits_per_message)
+        key = (message.sender, message.receiver)
+        if key in self._outboxes:
+            if self.strict:
+                raise BandwidthExceededError(
+                    message.sender, message.receiver, self.round_index
+                )
+            self._spill.append(message)
+            return
+        self._outboxes[key] = message
+
+    def send_all(self, messages: Iterable[Message]) -> None:
+        for message in messages:
+            self.send(message)
+
+    def step(self) -> int:
+        delivered = self._outboxes
+        self._outboxes = {}
+        for (_, receiver), message in delivered.items():
+            self._inboxes[receiver].append(message)
+            self.messages_delivered += 1
+            self.words_delivered += message.size_words()
+        self.round_index += 1
+        if self._spill:
+            self.spill_rounds += 1
+            pending, self._spill = self._spill, []
+            for message in pending:
+                self.send(message)
+        return self.round_index
+
+    def drain(self, max_rounds: int = 10_000) -> int:
+        used = 0
+        while self._outboxes or self._spill:
+            if used >= max_rounds:
+                raise ProtocolError(
+                    f"drain did not finish within {max_rounds} rounds"
+                )
+            self.step()
+            used += 1
+        return used
+
+    def inbox(self, node: int, clear: bool = True) -> List[Message]:
+        self._check_node(node)
+        messages = self._inboxes[node]
+        if clear:
+            self._inboxes[node] = []
+        return messages
+
+    def pending_messages(self) -> int:
+        return len(self._outboxes) + len(self._spill)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise InvalidNodeError(node, self.n)
+
+
+def _deliver_relayed_reference(
+    clique: ObjectSimulatedClique,
+    plan: List[Tuple[int, Message]],
+    final: Dict[int, List[Message]],
+) -> int:
+    """The original two-hop executor: senders -> relays -> destinations."""
+    relay_hold: Dict[int, List[Message]] = defaultdict(list)
+    for relay, message in plan:
+        wrapped = Message(
+            sender=message.sender,
+            receiver=relay,
+            payload=(message.receiver,) + message.payload,
+            tag="relay:" + message.tag,
+        )
+        clique.send(wrapped)
+        relay_hold[relay].append(message)
+    rounds = clique.drain()
+
+    for relay in relay_hold:
+        for wrapped in clique.inbox(relay):
+            true_receiver = int(wrapped.payload[0])
+            clique.send(
+                Message(
+                    sender=relay,
+                    receiver=true_receiver,
+                    payload=wrapped.payload[1:],
+                    tag=wrapped.tag.removeprefix("relay:"),
+                )
+            )
+    rounds += clique.drain()
+    for node in range(clique.n):
+        for message in clique.inbox(node):
+            final[node].append(message)
+    return rounds
+
+
+def route_two_phase_reference(
+    messages: Sequence[Message],
+    n: int,
+    bandwidth_words: int = 4,
+) -> Tuple[Dict[int, List[Message]], "ReferenceRoutingStats"]:
+    """The original per-message Lenzen-style router, verbatim.
+
+    Returns the delivered messages grouped by destination plus a stats
+    record that also exposes the simulator's spill count, so the array
+    plane can be asserted bit-identical against it.
+    """
+    clique = ObjectSimulatedClique(n, bandwidth_words=bandwidth_words, strict=False)
+
+    counts: Dict[Tuple[int, int], int] = defaultdict(int)
+    for message in messages:
+        counts[(message.sender, message.receiver)] += 1
+    coordination_rounds = 2
+
+    per_dest_senders: Dict[int, List[int]] = defaultdict(list)
+    for (sender, dest) in counts:
+        per_dest_senders[dest].append(sender)
+    offsets: Dict[Tuple[int, int], int] = {}
+    for dest, senders in per_dest_senders.items():
+        senders.sort()
+        running = 0
+        for sender in senders:
+            offsets[(sender, dest)] = running
+            running += counts[(sender, dest)]
+
+    next_slot: Dict[Tuple[int, int], int] = defaultdict(int)
+    plan: List[Tuple[int, Message]] = []
+    relay_load = np.zeros(n, dtype=np.int64)
+    for message in messages:
+        key = (message.sender, message.receiver)
+        slot = offsets[key] + next_slot[key]
+        next_slot[key] += 1
+        relay = (message.receiver + slot) % n
+        relay_load[relay] += 1
+        plan.append((relay, message))
+
+    final: Dict[int, List[Message]] = defaultdict(list)
+    data_rounds = _deliver_relayed_reference(clique, plan, final)
+
+    sent = np.zeros(n, dtype=np.int64)
+    received = np.zeros(n, dtype=np.int64)
+    for message in messages:
+        sent[message.sender] += 1
+        received[message.receiver] += 1
+    stats = ReferenceRoutingStats(
+        rounds=coordination_rounds + data_rounds,
+        messages=len(messages),
+        max_sent_per_node=int(sent.max(initial=0)),
+        max_received_per_node=int(received.max(initial=0)),
+        relay_max_load=int(relay_load.max(initial=0)),
+        spill_rounds=clique.spill_rounds,
+    )
+    return final, stats
+
+
+class ReferenceRoutingStats:
+    """Plain stats record mirroring :class:`repro.cclique.routing.RoutingStats`."""
+
+    def __init__(
+        self,
+        rounds: int,
+        messages: int,
+        max_sent_per_node: int,
+        max_received_per_node: int,
+        relay_max_load: int,
+        spill_rounds: int,
+    ) -> None:
+        self.rounds = rounds
+        self.messages = messages
+        self.max_sent_per_node = max_sent_per_node
+        self.max_received_per_node = max_received_per_node
+        self.relay_max_load = relay_max_load
+        self.spill_rounds = spill_rounds
+
+
+__all__ = [
+    "ObjectSimulatedClique",
+    "ReferenceRoutingStats",
+    "route_two_phase_reference",
+]

@@ -1,4 +1,4 @@
-"""Routing primitives for the Congested Clique.
+"""Routing primitives for the Congested Clique — array-plane edition.
 
 Implements executable counterparts of the two routing lemmas the paper uses:
 
@@ -18,9 +18,18 @@ Implements executable counterparts of the two routing lemmas the paper uses:
   congestion is O(1) w.h.p.  Used as a comparison point in the routing
   benchmark.
 
-Both run on a :class:`~repro.cclique.model.SimulatedClique` in *non-strict*
-mode: the simulator spills over-congested links into extra rounds and counts
-them, so the reported round number is the true cost of the schedule.
+Everything runs on the struct-of-arrays engine
+(:class:`~repro.cclique.engine.ArrayClique`) in *non-strict* mode: the
+engine spills over-congested links into extra rounds and counts them, so
+the reported round number is the true cost of the schedule.  The plan
+(counts, prefix-sum offsets, slot→relay assignment) is computed with flat
+numpy reductions — no per-message Python.  Protocols stage
+:class:`~repro.cclique.engine.MessageBatch` columns through
+:func:`route_batch_two_phase` and read back a :class:`BatchDelivery`;
+the legacy ``Sequence[Message]`` entry points are thin wrappers that ride
+the same plane with payload objects attached as refs, and are asserted
+round- and inbox-identical to the frozen object-plane reference
+(:mod:`repro.cclique.reference`).
 """
 
 from __future__ import annotations
@@ -31,9 +40,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .engine import ArrayClique, MessageBatch, NO_REF
 from .errors import LoadPreconditionError
 from .message import Message
-from .model import SimulatedClique
 
 
 @dataclass
@@ -45,6 +54,7 @@ class RoutingStats:
     max_sent_per_node: int
     max_received_per_node: int
     relay_max_load: int
+    spill_rounds: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -54,29 +64,105 @@ class RoutingStats:
         )
 
 
+@dataclass
+class BatchDelivery:
+    """Delivered rows of a routed batch, grouped by destination.
+
+    ``src``/``payload`` rows are sorted by ``dst``; ``starts`` is the
+    ``(n + 1,)`` prefix index so ``rows for node v`` is the slice
+    ``starts[v]:starts[v + 1]`` (what :meth:`for_node` returns).  ``refs``
+    holds the engine's object store when the batch carried refs; ``tag``
+    holds interned tag ids resolvable through ``tag_names``.
+    """
+
+    n: int
+    dst: np.ndarray
+    src: np.ndarray
+    payload: np.ndarray
+    starts: np.ndarray
+    ref: np.ndarray
+    refs: Optional[List] = None
+    tag: Optional[np.ndarray] = None
+    tag_names: Optional[List[str]] = None
+
+    def __len__(self) -> int:
+        return len(self.dst)
+
+    def for_node(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(src, payload)`` rows delivered to ``node``."""
+        window = slice(self.starts[node], self.starts[node + 1])
+        return self.src[window], self.payload[window]
+
+    def counts(self) -> np.ndarray:
+        """Delivered rows per destination node."""
+        return np.diff(self.starts)
+
+    def to_messages(self) -> Dict[int, List[Message]]:
+        """Materialize the delivery as the legacy per-destination dict.
+
+        Like the historical router's return value, the dict defaults to an
+        empty list for destinations that received nothing.
+        """
+        out: Dict[int, List[Message]] = defaultdict(list)
+        for node in range(self.n):
+            window = slice(self.starts[node], self.starts[node + 1])
+            if window.start == window.stop:
+                continue
+            rows: List[Message] = []
+            for i in range(window.start, window.stop):
+                ref = int(self.ref[i])
+                if self.refs is not None and ref != NO_REF:
+                    rows.append(self.refs[ref])
+                else:
+                    row = self.payload[i]
+                    # Strip only *trailing* NaNs (cross-batch width
+                    # padding); interior NaNs are legitimate payload.
+                    finite = np.flatnonzero(~np.isnan(row))
+                    width = int(finite[-1]) + 1 if len(finite) else 0
+                    tag = ""
+                    if self.tag is not None and self.tag_names is not None:
+                        tag = self.tag_names[int(self.tag[i])]
+                    rows.append(
+                        Message(
+                            int(self.src[i]),
+                            node,
+                            tuple(row[:width].tolist()),
+                            tag,
+                        )
+                    )
+            out[node] = rows
+        return out
+
+
+# --------------------------------------------------------------------- #
+# Load preconditions
+# --------------------------------------------------------------------- #
+
+
+def _message_columns(
+    messages: Sequence[Message], n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    m = len(messages)
+    src = np.fromiter((msg.sender for msg in messages), np.int64, m)
+    dst = np.fromiter((msg.receiver for msg in messages), np.int64, m)
+    return src, dst
+
+
 def instance_loads(messages: Sequence[Message], n: int) -> Tuple[np.ndarray, np.ndarray]:
     """Per-node sent/received message counts of a routing instance."""
-    sent = np.zeros(n, dtype=np.int64)
-    received = np.zeros(n, dtype=np.int64)
-    for message in messages:
-        sent[message.sender] += 1
-        received[message.receiver] += 1
-    return sent, received
+    src, dst = _message_columns(messages, n)
+    return np.bincount(src, minlength=n), np.bincount(dst, minlength=n)
 
 
-def validate_loads(
-    messages: Sequence[Message],
+def _validate_load_columns(
+    src: np.ndarray,
+    dst: np.ndarray,
     n: int,
-    load_constant: float = 8.0,
-    check_sent: bool = True,
+    load_constant: float,
+    check_sent: bool,
 ) -> Tuple[int, int]:
-    """Check the O(n)-load precondition of Lemma 2.1 / Lemma 2.2.
-
-    Returns ``(max_sent, max_received)``; raises
-    :class:`LoadPreconditionError` when a node exceeds
-    ``load_constant * n`` messages in the checked direction(s).
-    """
-    sent, received = instance_loads(messages, n)
+    sent = np.bincount(src, minlength=n)
+    received = np.bincount(dst, minlength=n)
     max_sent = int(sent.max(initial=0))
     max_received = int(received.max(initial=0))
     limit = load_constant * n
@@ -92,55 +178,132 @@ def validate_loads(
     return max_sent, max_received
 
 
-def _deliver_relayed(
-    clique: SimulatedClique,
-    plan: List[Tuple[int, Message]],
-    final: Dict[int, List[Message]],
-) -> int:
-    """Execute a two-hop plan: ``(relay, message)`` pairs, then forward.
+def validate_loads(
+    messages: Sequence[Message],
+    n: int,
+    load_constant: float = 8.0,
+    check_sent: bool = True,
+) -> Tuple[int, int]:
+    """Check the O(n)-load precondition of Lemma 2.1 / Lemma 2.2.
 
-    Returns rounds used.  ``final`` collects messages per destination.
+    Returns ``(max_sent, max_received)``; raises
+    :class:`LoadPreconditionError` when a node exceeds
+    ``load_constant * n`` messages in the checked direction(s).
     """
-    # Phase A: senders -> relays.  Wrap each message so the relay knows the
-    # true destination; payload grows by one word which is within the O(log n)
-    # budget for the bookkeeping-free simulator (we allow 4-word payloads).
-    relay_hold: Dict[int, List[Message]] = defaultdict(list)
-    for relay, message in plan:
-        wrapped = Message(
-            sender=message.sender,
-            receiver=relay,
-            payload=(message.receiver,) + message.payload,
-            tag="relay:" + message.tag,
-        )
-        clique.send(wrapped)
-        relay_hold[relay].append(message)
+    src, dst = _message_columns(messages, n)
+    return _validate_load_columns(src, dst, n, load_constant, check_sent)
+
+
+# --------------------------------------------------------------------- #
+# The deterministic two-phase plan, vectorized
+# --------------------------------------------------------------------- #
+
+
+def two_phase_relays(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """Relay assignment of the count/offset scheme, one flat computation.
+
+    Reproduces the object-plane plan exactly: per destination ``d``, pairs
+    ``(s, d)`` are laid out by ascending sender with prefix-sum offsets;
+    the ``j``-th message of a pair (in staging order) gets slot
+    ``offset + j`` and relay ``(d + slot) % n``.  Slots for a destination
+    are globally distinct, so each relay holds at most ``ceil(T_d / n)``
+    messages per destination; the ``+d`` rotation decorrelates one
+    sender's batches across destinations.
+    """
+    m = len(src)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    pair_key = dst * n + src  # sorts by (dst, then src) — the offset order
+    order = np.argsort(pair_key, kind="stable")
+    sorted_key = pair_key[order]
+    new_pair = np.r_[True, sorted_key[1:] != sorted_key[:-1]]
+    pair_starts = np.flatnonzero(new_pair)
+    pair_of = np.cumsum(new_pair) - 1
+    # j: staging-order index within the pair (stable sort preserves it).
+    j_sorted = np.arange(m) - pair_starts[pair_of]
+    # offsets: exclusive prefix sums of pair counts, reset at each dst.
+    pair_counts = np.diff(np.r_[pair_starts, m])
+    exclusive = np.r_[0, np.cumsum(pair_counts[:-1])]
+    pair_dst = sorted_key[pair_starts] // n
+    dst_first = np.r_[True, pair_dst[1:] != pair_dst[:-1]]
+    dst_of = np.cumsum(dst_first) - 1
+    pair_offset = exclusive - exclusive[np.flatnonzero(dst_first)][dst_of]
+    slot_sorted = pair_offset[pair_of] + j_sorted
+    relay_sorted = (pair_dst[pair_of] + slot_sorted) % n
+    relay = np.empty(m, dtype=np.int64)
+    relay[order] = relay_sorted
+    return relay
+
+
+def _execute_relayed(
+    clique: ArrayClique,
+    batch: MessageBatch,
+    relay: np.ndarray,
+) -> Tuple[BatchDelivery, int]:
+    """Run the two-hop schedule on the engine; returns delivery + rounds.
+
+    Phase A wraps each row with its true destination as an extra leading
+    payload word (one word of bookkeeping, charged); relays strip it and
+    forward in phase B.  Ref attachments flow through both hops untouched.
+    """
+    m = len(batch)
+    words = (
+        batch.words
+        if batch.words is not None
+        else np.full(m, max(1, batch.payload.shape[1]), dtype=np.int64)
+    )
+    wrapped = np.column_stack([batch.dst.astype(np.float64), batch.payload])
+    if batch.refs is not None:
+        ref_ids = clique.add_refs(list(batch.refs))
+    else:
+        ref_ids = None
+    clique.stage(
+        batch.src,
+        relay,
+        wrapped,
+        words=words + 1,
+        tag=batch.tag,
+        refs=None,
+        ref_ids=ref_ids,
+    )
     rounds = clique.drain()
 
     # Relays unwrap and forward.
-    for relay in relay_hold:
-        for wrapped in clique.inbox(relay):
-            true_receiver = int(wrapped.payload[0])
-            clique.send(
-                Message(
-                    sender=relay,
-                    receiver=true_receiver,
-                    payload=wrapped.payload[1:],
-                    tag=wrapped.tag.removeprefix("relay:"),
-                )
-            )
-    rounds += clique.drain()
-    for node in range(clique.n):
-        for message in clique.inbox(node):
-            final[node].append(message)
-    return rounds
+    holder, held = clique.collect()
+    if len(held):
+        clique.stage(
+            holder,
+            held.payload[:, 0].astype(np.int64),
+            held.payload[:, 1:],
+            words=held.words - 1,  # strip the bookkeeping word's charge
+            tag=batch.tag,
+            ref_ids=held.ref,
+        )
+        rounds += clique.drain()
+
+    node, view = clique.collect()
+    starts = np.searchsorted(node, np.arange(clique.n + 1))
+    delivery = BatchDelivery(
+        n=clique.n,
+        dst=node,
+        src=view.src,
+        payload=view.payload,
+        starts=starts,
+        ref=view.ref,
+        refs=clique.refs if batch.refs is not None else None,
+        tag=view.tag,
+        tag_names=clique.tag_table,
+    )
+    return delivery, rounds
 
 
-def route_two_phase(
-    messages: Sequence[Message],
+def route_batch_two_phase(
+    batch: MessageBatch,
     n: int,
     bandwidth_words: int = 4,
-) -> Tuple[Dict[int, List[Message]], RoutingStats]:
-    """Deterministic Lenzen-style routing on the message-level simulator.
+    load_constant: float = 8.0,
+) -> Tuple[BatchDelivery, RoutingStats]:
+    """Deterministic Lenzen-style routing of a numpy message batch.
 
     Protocol (each phase is O(1) rounds at O(n) load):
 
@@ -149,64 +312,77 @@ def route_two_phase(
     2. Every destination prefix-sums the counts and returns each sender its
        slot offset (1 round).
     3. The ``j``-th message from sender ``s`` to destination ``d`` travels
-       via relay ``(offset(s, d) + j) mod n``.  Slots for a destination are
-       globally distinct, so each relay holds at most ``ceil(T_d / n)``
-       messages per destination, where ``T_d <= O(n)`` is ``d``'s in-load.
+       via relay ``(offset(s, d) + j) mod n``.
     4. Relays forward to the destinations.
 
-    Returns the delivered messages grouped by destination and the measured
-    :class:`RoutingStats`.  Rounds include the two coordination rounds.
+    Returns the delivered rows grouped by destination and the measured
+    :class:`RoutingStats`; rounds include the two coordination rounds.
     """
-    max_sent, max_received = validate_loads(messages, n)
-    clique = SimulatedClique(n, bandwidth_words=bandwidth_words, strict=False)
-
-    # Phase 1: counts.  (Local bookkeeping; one round of pairwise words.)
-    counts: Dict[Tuple[int, int], int] = defaultdict(int)
-    for message in messages:
-        counts[(message.sender, message.receiver)] += 1
-    coordination_rounds = 2  # counts out + offsets back, both 1-per-pair.
-
-    # Phase 2: offsets, computed as each destination would.
-    per_dest_senders: Dict[int, List[int]] = defaultdict(list)
-    for (sender, dest) in counts:
-        per_dest_senders[dest].append(sender)
-    offsets: Dict[Tuple[int, int], int] = {}
-    for dest, senders in per_dest_senders.items():
-        senders.sort()
-        running = 0
-        for sender in senders:
-            offsets[(sender, dest)] = running
-            running += counts[(sender, dest)]
-
-    # Phase 3 + 4: relay plan, executed on the simulator.  The relay for
-    # slot ``j`` of destination ``d`` is ``(d + j) mod n``: slots are
-    # globally distinct per destination (so each relay holds at most
-    # ``ceil(T_d / n)`` messages per destination), and the per-destination
-    # rotation ``+d`` decorrelates one sender's messages across
-    # destinations (without it, prefix-sum offsets align and a sender's
-    # whole batch would target the same relay).
-    next_slot: Dict[Tuple[int, int], int] = defaultdict(int)
-    plan: List[Tuple[int, Message]] = []
-    relay_load = np.zeros(n, dtype=np.int64)
-    for message in messages:
-        key = (message.sender, message.receiver)
-        slot = offsets[key] + next_slot[key]
-        next_slot[key] += 1
-        relay = (message.receiver + slot) % n
-        relay_load[relay] += 1
-        plan.append((relay, message))
-
-    final: Dict[int, List[Message]] = defaultdict(list)
-    data_rounds = _deliver_relayed(clique, plan, final)
-
+    max_sent, max_received = _validate_load_columns(
+        batch.src, batch.dst, n, load_constant, check_sent=True
+    )
+    clique = ArrayClique(n, bandwidth_words=bandwidth_words, strict=False)
+    relay = two_phase_relays(batch.src, batch.dst, n)
+    delivery, data_rounds = _execute_relayed(clique, batch, relay)
     stats = RoutingStats(
-        rounds=coordination_rounds + data_rounds,
-        messages=len(messages),
+        rounds=2 + data_rounds,  # counts out + offsets back, 1 round each
+        messages=len(batch),
         max_sent_per_node=max_sent,
         max_received_per_node=max_received,
-        relay_max_load=int(relay_load.max(initial=0)),
+        relay_max_load=int(np.bincount(relay, minlength=n).max(initial=0)),
+        spill_rounds=clique.spill_rounds,
     )
-    return final, stats
+    return delivery, stats
+
+
+def route_batch_randomized(
+    batch: MessageBatch,
+    n: int,
+    rng: np.random.Generator,
+    bandwidth_words: int = 4,
+    load_constant: float = 8.0,
+) -> Tuple[BatchDelivery, RoutingStats]:
+    """Valiant-style randomized routing: relay via a uniform intermediate."""
+    max_sent, max_received = _validate_load_columns(
+        batch.src, batch.dst, n, load_constant, check_sent=True
+    )
+    clique = ArrayClique(n, bandwidth_words=bandwidth_words, strict=False)
+    relay = rng.integers(0, n, size=len(batch))
+    delivery, data_rounds = _execute_relayed(clique, batch, relay)
+    stats = RoutingStats(
+        rounds=data_rounds,
+        messages=len(batch),
+        max_sent_per_node=max_sent,
+        max_received_per_node=max_received,
+        relay_max_load=int(np.bincount(relay, minlength=n).max(initial=0)),
+        spill_rounds=clique.spill_rounds,
+    )
+    return delivery, stats
+
+
+# --------------------------------------------------------------------- #
+# Legacy Message-sequence entry points (same plane, refs attached)
+# --------------------------------------------------------------------- #
+
+
+def route_two_phase(
+    messages: Sequence[Message],
+    n: int,
+    bandwidth_words: int = 4,
+) -> Tuple[Dict[int, List[Message]], RoutingStats]:
+    """Deterministic Lenzen-style routing of ``Message`` objects.
+
+    Thin wrapper over :func:`route_batch_two_phase`: the messages ride the
+    array plane as ref attachments (payloads and tags are preserved
+    verbatim, any payload type allowed), and the returned dict holds the
+    original objects.  Round counts, spill statistics, and delivered
+    inboxes are bit-identical to the frozen object-plane reference
+    (:func:`repro.cclique.reference.route_two_phase_reference`) — enforced
+    by the equivalence tests.
+    """
+    batch = MessageBatch.from_messages(messages)
+    delivery, stats = route_batch_two_phase(batch, n, bandwidth_words=bandwidth_words)
+    return delivery.to_messages(), stats
 
 
 def route_randomized(
@@ -215,51 +391,54 @@ def route_randomized(
     rng: np.random.Generator,
     bandwidth_words: int = 4,
 ) -> Tuple[Dict[int, List[Message]], RoutingStats]:
-    """Valiant-style randomized routing: relay via a uniform intermediate."""
-    max_sent, max_received = validate_loads(messages, n)
-    clique = SimulatedClique(n, bandwidth_words=bandwidth_words, strict=False)
-    relay_load = np.zeros(n, dtype=np.int64)
-    plan: List[Tuple[int, Message]] = []
-    relays = rng.integers(0, n, size=len(messages))
-    for relay, message in zip(relays, messages):
-        relay_load[relay] += 1
-        plan.append((int(relay), message))
-    final: Dict[int, List[Message]] = defaultdict(list)
-    data_rounds = _deliver_relayed(clique, plan, final)
-    stats = RoutingStats(
-        rounds=data_rounds,
-        messages=len(messages),
-        max_sent_per_node=max_sent,
-        max_received_per_node=max_received,
-        relay_max_load=int(relay_load.max(initial=0)),
+    """Valiant-style randomized routing of ``Message`` objects."""
+    batch = MessageBatch.from_messages(messages)
+    delivery, stats = route_batch_randomized(
+        batch, n, rng, bandwidth_words=bandwidth_words
     )
-    return final, stats
+    return delivery.to_messages(), stats
 
 
 def route_direct(
     messages: Sequence[Message],
     n: int,
     bandwidth_words: int = 4,
+    load_constant: float = 8.0,
 ) -> Tuple[Dict[int, List[Message]], RoutingStats]:
     """Naive direct routing (no relays); rounds grow with pair congestion.
 
     Used as the baseline in the routing benchmark: sending k messages across
     one ordered pair costs k rounds, so skewed instances are slow.
     """
-    max_sent, max_received = validate_loads(messages, n)
-    clique = SimulatedClique(n, bandwidth_words=bandwidth_words, strict=False)
-    for message in messages:
-        clique.send(message)
+    batch = MessageBatch.from_messages(messages)
+    max_sent, max_received = _validate_load_columns(
+        batch.src, batch.dst, n, load_constant, check_sent=True
+    )
+    clique = ArrayClique(n, bandwidth_words=bandwidth_words, strict=False)
+    ref_ids = clique.add_refs(list(batch.refs)) if batch.refs is not None else None
+    clique.stage(
+        batch.src, batch.dst, batch.payload, words=batch.words, ref_ids=ref_ids
+    )
     rounds = clique.drain()
-    final: Dict[int, List[Message]] = defaultdict(list)
-    for node in range(n):
-        for message in clique.inbox(node):
-            final[node].append(message)
+    node, view = clique.collect()
+    starts = np.searchsorted(node, np.arange(n + 1))
+    delivery = BatchDelivery(
+        n=n,
+        dst=node,
+        src=view.src,
+        payload=view.payload,
+        starts=starts,
+        ref=view.ref,
+        refs=clique.refs,
+        tag=view.tag,
+        tag_names=clique.tag_table,
+    )
     stats = RoutingStats(
         rounds=rounds,
-        messages=len(messages),
+        messages=len(batch),
         max_sent_per_node=max_sent,
         max_received_per_node=max_received,
         relay_max_load=0,
+        spill_rounds=clique.spill_rounds,
     )
-    return final, stats
+    return delivery.to_messages(), stats

@@ -1,23 +1,46 @@
-"""Round-by-round tracing for the message-level simulator.
+"""Round-by-round tracing for the simulator — byte-bounded by default.
 
-Wraps a :class:`~repro.cclique.model.SimulatedClique` and records, per
-round, the number of messages, the words moved, and the per-link
-utilization — the observability layer a simulator library needs for
-debugging protocols and for the congestion plots in the routing
-experiments.
+Wraps a clique (the object adapter or the bare array engine) and records,
+per round, the number of messages, the words moved, and — optionally —
+the per-link utilization of the round, the observability layer a
+simulator library needs for debugging protocols and for the congestion
+plots in the routing experiments.
+
+Long simulations used to exhaust memory here: per-link events grow
+O(rounds · n²) and even aggregate snapshots grow without bound.  The
+recorder therefore keeps its history in a **byte-bounded ring buffer**
+(default :data:`DEFAULT_TRACE_BYTES`): when a new record would exceed the
+budget, the oldest records are evicted and counted in
+:attr:`TraceRecorder.dropped_events`.  Cumulative totals
+(:attr:`TraceRecorder.rounds`, :attr:`TraceRecorder.total_messages`) are
+maintained as running counters, so they stay correct no matter how much
+history was evicted.
 
 The recorder is pull-based: call :meth:`TraceRecorder.snapshot` after each
-:meth:`~repro.cclique.model.SimulatedClique.step` (or use
-:func:`traced_drain` which does it for you) and render with
-:meth:`TraceRecorder.timeline`.
+``step()`` (or use :func:`traced_drain` which does it for you) and render
+with :meth:`TraceRecorder.timeline`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Union
 
+import numpy as np
+
+from .engine import ArrayClique
 from .model import SimulatedClique
+
+#: Default history budget (4 MiB ≈ 45k aggregate snapshots, or a few
+#: hundred full-load link rounds at n = 1024).
+DEFAULT_TRACE_BYTES = 4 << 20
+
+#: Approximate retained size of one aggregate snapshot (five ints plus
+#: container overhead) used for ring accounting.
+_SNAPSHOT_BYTES = 96
+
+Clique = Union[SimulatedClique, ArrayClique]
 
 
 @dataclass
@@ -32,13 +55,63 @@ class RoundSnapshot:
 
 
 @dataclass
-class TraceRecorder:
-    """Accumulates per-round snapshots of a clique execution."""
+class LinkEvent:
+    """Per-link delivery counts of one round (recorded on request).
 
-    clique: SimulatedClique
-    snapshots: List[RoundSnapshot] = field(default_factory=list)
-    _last_messages: int = 0
-    _last_words: int = 0
+    ``src``/``dst``/``count`` are parallel columns: ``count[i]`` messages
+    crossed the ordered link ``src[i] -> dst[i]`` in round
+    ``round_index``.  This is the O(n²)-per-round record the ring buffer
+    exists for.
+    """
+
+    round_index: int
+    src: np.ndarray
+    dst: np.ndarray
+    count: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.src.nbytes + self.dst.nbytes + self.count.nbytes) + 48
+
+
+class TraceRecorder:
+    """Accumulates per-round records of a clique execution, ring-buffered.
+
+    Parameters
+    ----------
+    clique:
+        A :class:`SimulatedClique` adapter or a bare :class:`ArrayClique`.
+    max_bytes:
+        History budget; ``None`` disables the bound (the pre-ring
+        behaviour — unbounded growth, caller beware).
+    record_links:
+        When True, every snapshot also stores a :class:`LinkEvent` with
+        the round's per-link delivery counts (taken from the engine's
+        ``last_delivered`` columns).
+    """
+
+    def __init__(
+        self,
+        clique: Clique,
+        max_bytes: Optional[int] = DEFAULT_TRACE_BYTES,
+        record_links: bool = False,
+    ) -> None:
+        self.clique = clique
+        self.max_bytes = max_bytes
+        self.record_links = record_links
+        self.snapshots: Deque[RoundSnapshot] = deque()
+        self.link_events: Deque[LinkEvent] = deque()
+        self.dropped_events = 0
+        self.bytes_used = 0
+        self._last_messages = 0
+        self._last_words = 0
+        self._rounds_seen = 0
+        self._total_messages = 0
+
+    def _engine(self) -> Optional[ArrayClique]:
+        if isinstance(self.clique, ArrayClique):
+            return self.clique
+        return getattr(self.clique, "engine", None)
 
     def snapshot(self) -> RoundSnapshot:
         """Record the delta since the previous snapshot."""
@@ -51,29 +124,84 @@ class TraceRecorder:
         )
         self._last_messages = self.clique.messages_delivered
         self._last_words = self.clique.words_delivered
+        self._rounds_seen += 1
+        self._total_messages += snap.messages_delivered
         self.snapshots.append(snap)
+        self.bytes_used += _SNAPSHOT_BYTES
+        if self.record_links:
+            event = self._link_event(snap.round_index)
+            if event is not None:
+                self.link_events.append(event)
+                self.bytes_used += event.nbytes
+        self._evict()
         return snap
+
+    def _link_event(self, round_index: int) -> Optional[LinkEvent]:
+        engine = self._engine()
+        if engine is None or engine.last_delivered is None:
+            return None
+        src, dst, _ = engine.last_delivered
+        if not len(src):
+            return None
+        key = src * engine.n + dst
+        links, count = np.unique(key, return_counts=True)
+        return LinkEvent(
+            round_index=round_index,
+            src=(links // engine.n).astype(np.int64),
+            dst=(links % engine.n).astype(np.int64),
+            count=count.astype(np.int64),
+        )
+
+    def _evict(self) -> None:
+        if self.max_bytes is None:
+            return
+        while self.bytes_used > self.max_bytes and (
+            len(self.snapshots) > 1 or self.link_events
+        ):
+            # Evict the oldest record (link events first for their round:
+            # they dominate the budget and the aggregate row is the one
+            # worth keeping longest).
+            if self.link_events and (
+                not self.snapshots
+                or self.link_events[0].round_index
+                <= self.snapshots[0].round_index
+            ):
+                event = self.link_events.popleft()
+                self.bytes_used -= event.nbytes
+            else:
+                self.snapshots.popleft()
+                self.bytes_used -= _SNAPSHOT_BYTES
+            self.dropped_events += 1
 
     @property
     def rounds(self) -> int:
+        """Rounds snapshotted over the recorder's lifetime (cumulative)."""
+        return self._rounds_seen
+
+    @property
+    def retained_rounds(self) -> int:
+        """Snapshots currently held in the ring."""
         return len(self.snapshots)
 
     @property
     def total_messages(self) -> int:
-        return sum(s.messages_delivered for s in self.snapshots)
+        """Messages seen over the recorder's lifetime (cumulative)."""
+        return self._total_messages
 
     def peak_round(self) -> Optional[RoundSnapshot]:
-        """The round that moved the most messages."""
+        """The retained round that moved the most messages."""
         if not self.snapshots:
             return None
         return max(self.snapshots, key=lambda s: s.messages_delivered)
 
     def timeline(self, width: int = 40) -> str:
-        """ASCII bar chart of messages per round."""
+        """ASCII bar chart of messages per retained round."""
         if not self.snapshots:
             return "(no rounds recorded)"
         peak = max(1, max(s.messages_delivered for s in self.snapshots))
         lines = []
+        if self.dropped_events:
+            lines.append(f"... {self.dropped_events} older records dropped ...")
         for snap in self.snapshots:
             bar = "#" * max(
                 1 if snap.messages_delivered else 0,
@@ -86,9 +214,14 @@ class TraceRecorder:
         return "\n".join(lines)
 
 
-def traced_drain(clique: SimulatedClique, max_rounds: int = 10_000) -> TraceRecorder:
+def traced_drain(
+    clique: Clique,
+    max_rounds: int = 10_000,
+    max_bytes: Optional[int] = DEFAULT_TRACE_BYTES,
+    record_links: bool = False,
+) -> TraceRecorder:
     """Drain all staged messages, snapshotting every round."""
-    recorder = TraceRecorder(clique)
+    recorder = TraceRecorder(clique, max_bytes=max_bytes, record_links=record_links)
     used = 0
     while clique.pending_messages():
         if used >= max_rounds:

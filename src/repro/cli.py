@@ -41,7 +41,7 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import format_table, stretch_profile, summarize_stretch
-from .cclique import Message, RoundLedger, route_two_phase
+from .cclique import MessageBatch, RoundLedger, route_batch_two_phase
 from .core import iter_variants, run_variant, variant_names
 from .graphs import (
     WeightedGraph,
@@ -185,14 +185,21 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    n = min(args.n, 48)  # the message-level simulator is per-message
-    messages = []
-    for _ in range(n):
-        perm = rng.permutation(n)
-        messages.extend(Message(s, int(perm[s]), (s,)) for s in range(n))
-    _, stats = route_two_phase(messages, n)
+    # The communication plane is array-native: full load is feasible at
+    # four-digit n (the old per-message simulator capped this at 48).
+    n = min(args.n, 1024)
+    perms = np.stack([rng.permutation(n) for _ in range(n)])
+    batch = MessageBatch(
+        src=np.tile(np.arange(n, dtype=np.int64), n),
+        dst=perms.reshape(-1),
+        payload=np.tile(np.arange(n, dtype=np.float64), n).reshape(-1, 1),
+    )
+    start = time.perf_counter()
+    _, stats = route_batch_two_phase(batch, n)
+    wall = time.perf_counter() - start
     print(f"routing  : {stats.messages} messages at full load "
-          f"in {stats.rounds} rounds")
+          f"in {stats.rounds} rounds ({stats.spill_rounds} spill, "
+          f"{wall:.2f}s wall)")
     graph = build_workload("er", min(n, 16), rng)
     run = run_distributed_bellman_ford(graph)
     exact = exact_apsp(graph)

@@ -1,25 +1,49 @@
-"""Basic distributed aggregation protocols on the message-level simulator.
+"""Basic distributed aggregation protocols, staged as array batches.
 
 Small synchronous building blocks the paper takes for granted — leader
 election, global min/sum, convergecast — implemented as real message
-schedules on :class:`~repro.cclique.model.SimulatedClique` and used by the
+schedules on the array-native communication plane
+(:class:`~repro.cclique.engine.ArrayClique`, reached through the
+:class:`~repro.cclique.model.SimulatedClique` adapter) and used by the
 message-level protocol implementations in this package.
 
 All of them are single-round or two-round in the clique (every node can
 talk to every node directly), which is exactly why the paper never spells
 them out; having them executable lets the higher protocols be written
-without hand-waving.
+without hand-waving.  Each round is one ``stage`` call of flat numpy
+columns — no per-message loops — so these primitives run at four-digit
+``n`` without breaking a sweat.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from ..cclique.message import Message
+import numpy as np
+
+from ..cclique.engine import ArrayClique
 from ..cclique.model import SimulatedClique
 
+Clique = Union[SimulatedClique, ArrayClique]
 
-def elect_leader(clique: SimulatedClique, ids: Optional[Sequence[int]] = None) -> Tuple[int, int]:
+
+def _engine_of(clique: Clique) -> ArrayClique:
+    return clique.engine if isinstance(clique, SimulatedClique) else clique
+
+
+def _tagged_rows(
+    engine: ArrayClique, node: int, tag: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(src, payload)`` of ``node``'s inbox rows carrying ``tag``."""
+    view = engine.inbox_arrays(node)
+    if not len(view):
+        return np.empty(0, dtype=np.int64), np.empty((0, 0))
+    tag_id = engine.tag_id(tag)
+    keep = view.tag == tag_id
+    return view.src[keep], view.payload[keep]
+
+
+def elect_leader(clique: Clique, ids: Optional[Sequence[int]] = None) -> Tuple[int, int]:
     """Elect the smallest-ID node; one round of everyone -> node 0 -> everyone.
 
     In the clique the canonical leader is node 0 by renaming (Section 2),
@@ -27,31 +51,32 @@ def elect_leader(clique: SimulatedClique, ids: Optional[Sequence[int]] = None) -
     node announces its ID to node 0 (1 round), node 0 broadcasts the
     winner (1 round).  Returns ``(leader, rounds)``.
     """
-    n = clique.n
-    candidate_ids = list(ids) if ids is not None else list(range(n))
-    if len(candidate_ids) != n:
-        raise ValueError("need one candidate ID per node")
-    for node in range(n):
-        clique.send(Message(node, 0, (candidate_ids[node],), tag="elect"))
-    clique.step()
-    announced = min(
-        int(m.payload[0]) for m in clique.inbox(0) if m.tag == "elect"
+    engine = _engine_of(clique)
+    n = engine.n
+    candidates = (
+        np.asarray(ids, dtype=np.int64)
+        if ids is not None
+        else np.arange(n, dtype=np.int64)
     )
-    for node in range(n):
-        clique.send(Message(0, node, (announced,), tag="leader"))
+    if len(candidates) != n:
+        raise ValueError("need one candidate ID per node")
+    engine.stage(np.arange(n, dtype=np.int64), 0, candidates.astype(np.float64),
+                 tag="elect")
     clique.step()
-    winners = set()
-    for node in range(n):
-        for m in clique.inbox(node):
-            if m.tag == "leader":
-                winners.add(int(m.payload[0]))
+    _, payload = _tagged_rows(engine, 0, "elect")
+    announced = int(payload[:, 0].min())
+    engine.stage(0, np.arange(n, dtype=np.int64), float(announced), tag="leader")
+    clique.step()
+    nodes, view = engine.collect()
+    leader_id = engine.tag_id("leader")
+    winners = set(view.payload[view.tag == leader_id, 0].astype(np.int64).tolist())
     if winners != {announced}:  # pragma: no cover - simulator invariant
         raise RuntimeError("leader announcement diverged")
     return announced, 2
 
 
 def global_reduce(
-    clique: SimulatedClique,
+    clique: Clique,
     values: Sequence[float],
     combine: Callable[[float, float], float],
     initial: float,
@@ -61,56 +86,60 @@ def global_reduce(
     ``combine`` must be associative and commutative (min, max, +, ...).
     Returns ``(result, rounds)``; every node learns the result.
     """
-    n = clique.n
-    if len(values) != n:
+    engine = _engine_of(clique)
+    n = engine.n
+    column = np.asarray(values, dtype=np.float64)
+    if len(column) != n:
         raise ValueError("need one value per node")
-    for node in range(n):
-        clique.send(Message(node, 0, (values[node],), tag="reduce"))
+    engine.stage(np.arange(n, dtype=np.int64), 0, column, tag="reduce")
     clique.step()
+    src, payload = _tagged_rows(engine, 0, "reduce")
     accumulator = initial
-    for m in clique.inbox(0):
-        if m.tag == "reduce":
-            accumulator = combine(accumulator, float(m.payload[0]))
-    for node in range(n):
-        clique.send(Message(0, node, (accumulator,), tag="reduced"))
+    # Fold in sender order — the staging order of the historical schedule —
+    # so non-associative float effects stay reproducible.
+    for value in payload[np.argsort(src, kind="stable"), 0]:
+        accumulator = combine(accumulator, float(value))
+    engine.stage(0, np.arange(n, dtype=np.int64), float(accumulator), tag="reduced")
     clique.step()
-    for node in range(n):
-        clique.inbox(node)  # drain
+    engine.collect()  # drain
     return accumulator, 2
 
 
-def global_min(clique: SimulatedClique, values: Sequence[float]) -> Tuple[float, int]:
+def global_min(clique: Clique, values: Sequence[float]) -> Tuple[float, int]:
     """Global minimum of one value per node (two rounds)."""
     return global_reduce(clique, values, min, float("inf"))
 
 
-def global_sum(clique: SimulatedClique, values: Sequence[float]) -> Tuple[float, int]:
+def global_sum(clique: Clique, values: Sequence[float]) -> Tuple[float, int]:
     """Global sum of one value per node (two rounds)."""
     return global_reduce(clique, values, lambda a, b: a + b, 0.0)
 
 
-def share_flags(clique: SimulatedClique, flags: Sequence[bool]) -> Tuple[List[bool], int]:
+def share_flags(clique: Clique, flags: Sequence[bool]) -> Tuple[List[bool], int]:
     """Everyone learns everyone's one-bit flag in a single round.
 
     The primitive behind the hitting-set repetitions of Lemma 6.2 ("each
     repetition uses only O(1) bits of communication between each pair").
     """
-    n = clique.n
+    engine = _engine_of(clique)
+    n = engine.n
     if len(flags) != n:
         raise ValueError("need one flag per node")
-    for u in range(n):
-        for v in range(n):
-            clique.send(Message(u, v, (1 if flags[u] else 0,), tag="flag"))
+    bits = np.asarray([1.0 if f else 0.0 for f in flags], dtype=np.float64)
+    engine.stage(
+        np.repeat(np.arange(n, dtype=np.int64), n),
+        np.tile(np.arange(n, dtype=np.int64), n),
+        np.repeat(bits, n).reshape(-1, 1),
+        tag="flag",
+    )
     clique.step()
-    table: List[bool] = [False] * n
     reference: Optional[List[bool]] = None
     for v in range(n):
-        local = [False] * n
-        for m in clique.inbox(v):
-            if m.tag == "flag":
-                local[m.sender] = bool(m.payload[0])
+        src, payload = _tagged_rows(engine, v, "flag")
+        local_arr = np.zeros(n, dtype=bool)
+        local_arr[src] = payload[:, 0] > 0
+        local = local_arr.tolist()
         if reference is None:
             reference = local
-        table = local
     assert reference is not None
     return reference, 1

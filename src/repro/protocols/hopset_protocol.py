@@ -2,8 +2,8 @@
 
 :func:`repro.core.hopsets.build_knearest_hopset` executes the algorithm's
 data flow globally and charges rounds on the ledger.  This module runs the
-*same* algorithm as an actual communication schedule on the
-:class:`~repro.cclique.model.SimulatedClique`:
+*same* algorithm as an actual communication schedule on the array-native
+communication plane:
 
 1. every node ``v`` locally selects its approximate k-nearest set from its
    row of ``delta`` (local knowledge — each node knows its distances);
@@ -13,6 +13,11 @@ data flow globally and charges rounds on the ledger.  This module runs the
    each node receives ``k^2 ∈ O(n)`` edge records);
 4. ``v`` runs its local Dijkstra and announces each hopset edge to the
    other endpoint (one more routed instance).
+
+Every step's messages are staged as one flat numpy batch (requests are a
+masked ``(n, k)`` fan-out, replies a ``repeat``-expanded cross product of
+requesters and edge lists) and routed with
+:func:`~repro.cclique.routing.route_batch_two_phase`.
 
 The test suite asserts the resulting hopset is *identical* (same edges,
 same weights) to the global implementation — the cross-validation that
@@ -27,8 +32,8 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..cclique.message import Message
-from ..cclique.routing import RoutingStats, route_two_phase
+from ..cclique.engine import MessageBatch
+from ..cclique.routing import RoutingStats, route_batch_two_phase
 from ..graphs.adjacency import batched_sssp, k_lightest_per_row
 from ..graphs.graph import WeightedGraph
 from ..semiring.minplus import k_smallest_in_rows
@@ -52,9 +57,8 @@ def run_hopset_protocol(
 ) -> HopsetProtocolResult:
     """Execute Section 4.1 as messages; return the hopset and round counts.
 
-    Suitable for small ``n`` (the simulator is per-message); the output is
-    bit-identical to :func:`repro.core.hopsets.build_knearest_hopset` with
-    the same ``k``.
+    The output is bit-identical to
+    :func:`repro.core.hopsets.build_knearest_hopset` with the same ``k``.
     """
     n = graph.n
     delta = np.asarray(delta, dtype=np.float64)
@@ -67,32 +71,39 @@ def run_hopset_protocol(
     # Step 1 (local): approximate k-nearest sets.
     nearest, _ = k_smallest_in_rows(delta, k)
 
-    # Step 2a: requests v -> u (one word per ordered pair at most).
-    requests = []
-    for v in range(n):
-        for u in nearest[v]:
-            if u >= 0:
-                requests.append(Message(v, int(u), (v,), tag="hopset:req"))
-    delivered, request_stats = route_two_phase(requests, n)
+    # Step 2a: requests v -> u (one word per ordered pair at most),
+    # a masked (n, k) fan-out staged as one batch.
+    req_src = np.repeat(np.arange(n, dtype=np.int64), k)
+    req_dst = nearest.reshape(-1).astype(np.int64)
+    valid = req_dst >= 0
+    requests = MessageBatch(
+        src=req_src[valid],
+        dst=req_dst[valid],
+        payload=req_src[valid].astype(np.float64).reshape(-1, 1),
+        tag="hopset:req",
+    )
+    req_delivery, request_stats = route_batch_two_phase(requests, n)
 
     # Step 2b: each u answers each requester with its k shortest outgoing
     # edges (k messages of 3 words per requester; receive load k^2 = O(n)).
-    replies = []
+    # The reply set is the requester rows expanded k-fold against u's list.
     se_idx, se_w = k_lightest_per_row(graph.csr(), k)
-    for u in range(n):
-        requesters = {m.payload[0] for m in delivered.get(u, []) if m.tag == "hopset:req"}
-        row_idx, row_w = se_idx[u], se_w[u]
-        for v in requesters:
-            for endpoint, weight in zip(row_idx, row_w):
-                if endpoint < 0:
-                    continue
-                replies.append(
-                    Message(
-                        u, int(v), (u, int(endpoint), float(weight)),
-                        tag="hopset:edge",
-                    )
-                )
-    edges_delivered, edge_stats = route_two_phase(replies, n)
+    answerer = req_delivery.dst  # the u of each delivered request row
+    requester = req_delivery.payload[:, 0].astype(np.int64)
+    reply_src = np.repeat(answerer, k)
+    reply_dst = np.repeat(requester, k)
+    endpoints = se_idx[answerer].reshape(-1)
+    weights = se_w[answerer].reshape(-1)
+    keep = endpoints >= 0
+    replies = MessageBatch(
+        src=reply_src[keep],
+        dst=reply_dst[keep],
+        payload=np.column_stack(
+            [reply_src[keep].astype(np.float64), endpoints[keep], weights[keep]]
+        ),
+        tag="hopset:edge",
+    )
+    edge_delivery, edge_stats = route_batch_two_phase(replies, n)
 
     # Step 3 (local): exact SSSP on the received edges + own outgoing
     # edges.  Each node's subgraph (its block) is assembled as arrays and
@@ -100,10 +111,6 @@ def run_hopset_protocol(
     # the same batched engine the global construction uses, with sources
     # chunked the same way so the dense dijkstra output stays a few MB.
     csr = graph.csr()
-    received_by_node = [
-        [m.payload for m in edges_delivered.get(v, []) if m.tag == "hopset:edge"]
-        for v in range(n)
-    ]
     dist = np.empty((n, n), dtype=np.float64)
     chunk_nodes = 8 if n >= 256 else 16
     for lo in range(0, n, chunk_nodes):
@@ -114,13 +121,13 @@ def run_hopset_protocol(
         dsts = [own_dst]
         wgts = [own_w]
         for v in chunk:
-            received = received_by_node[v]
-            if not received:
+            r_src, r_payload = edge_delivery.for_node(int(v))
+            if not len(r_src):
                 continue
-            blocks.append(np.full(len(received), v - lo, dtype=np.int64))
-            srcs.append(np.asarray([p[0] for p in received], dtype=np.int64))
-            dsts.append(np.asarray([p[1] for p in received], dtype=np.int64))
-            wgts.append(np.asarray([p[2] for p in received], dtype=np.float64))
+            blocks.append(np.full(len(r_src), v - lo, dtype=np.int64))
+            srcs.append(r_payload[:, 0].astype(np.int64))
+            dsts.append(r_payload[:, 1].astype(np.int64))
+            wgts.append(r_payload[:, 2])
         dist[chunk] = batched_sssp(
             n,
             np.concatenate(srcs),
@@ -131,21 +138,24 @@ def run_hopset_protocol(
         )
     reached = np.isfinite(dist)
     np.fill_diagonal(reached, False)
-    hopset_edges: List[Tuple[int, int, float]] = []
-    notifications = []
-    for v, u in zip(*np.nonzero(reached)):
-        d_vu = float(dist[v, u])
-        hopset_edges.append((int(v), int(u), d_vu))
-        notifications.append(
-            Message(int(v), int(u), (int(v), d_vu), tag="hopset:new-edge")
-        )
+    v_arr, u_arr = np.nonzero(reached)
 
     # Step 4: inform the other endpoint of each hopset edge.
-    _, notify_stats = route_two_phase(notifications, n)
+    notifications = MessageBatch(
+        src=v_arr.astype(np.int64),
+        dst=u_arr.astype(np.int64),
+        payload=np.column_stack(
+            [v_arr.astype(np.float64), dist[v_arr, u_arr]]
+        ),
+        tag="hopset:new-edge",
+    )
+    _, notify_stats = route_batch_two_phase(notifications, n)
 
-    hopset = WeightedGraph(
+    hopset = WeightedGraph.from_arrays(
         n,
-        hopset_edges,
+        v_arr.astype(np.int64),
+        u_arr.astype(np.int64),
+        dist[v_arr, u_arr],
         directed=graph.directed,
         require_positive=False,
         require_integer=False,

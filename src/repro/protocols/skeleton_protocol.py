@@ -11,19 +11,22 @@ actual communication schedule:
   every graph neighbour ``t``; each ``t`` minimises per ``s_b`` and
   reports ``y(t, s_b)`` to ``s_b``; the ``t = v`` case is local.
 
-Both are O(n)-receive-load routed instances.  Tests assert the assembled
-matrices equal :func:`repro.core.skeleton.skeleton_xy_matrices` exactly.
+Both are O(n)-receive-load routed instances.  Every message set is a flat
+numpy batch (masked fan-outs over the ``(n, k)`` neighbour table and the
+edge arrays) and every per-node minimisation is one ``np.minimum.at``
+scatter over the delivered columns — there is no per-message Python in
+this schedule at all.  Tests assert the assembled matrices equal
+:func:`repro.core.skeleton.skeleton_xy_matrices` exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
-from ..cclique.message import Message
-from ..cclique.routing import RoutingStats, route_two_phase
+from ..cclique.engine import MessageBatch
+from ..cclique.routing import RoutingStats, route_batch_two_phase
 from ..graphs.graph import WeightedGraph
 from ..semiring.minplus import INF
 
@@ -55,100 +58,88 @@ def run_skeleton_xy_protocol(
     """
     n = graph.n
     k = nbr_indices.shape[1]
+    center = center.astype(np.int64)
+    center_delta = center_delta.astype(np.float64)
 
-    # ---- x-values: u -> t messages. ---------------------------------- #
-    x_messages: List[Message] = []
-    for u in range(n):
-        for slot in range(k):
-            t = int(nbr_indices[u, slot])
-            if t < 0 or not np.isfinite(nbr_values[u, slot]):
-                continue
-            value = float(center_delta[u] + nbr_values[u, slot])
-            x_messages.append(
-                Message(u, t, (int(center[u]), value), tag="xy:x")
-            )
-    x_delivered, x_stats = route_two_phase(x_messages, n)
+    # ---- x-values: u -> t messages (masked (n, k) fan-out). ---------- #
+    u_col = np.repeat(np.arange(n, dtype=np.int64), k)
+    t_col = nbr_indices.reshape(-1).astype(np.int64)
+    value_col = center_delta[u_col] + nbr_values.reshape(-1)
+    valid = (t_col >= 0) & np.isfinite(nbr_values.reshape(-1))
+    x_batch = MessageBatch(
+        src=u_col[valid],
+        dst=t_col[valid],
+        payload=np.column_stack(
+            [center[u_col[valid]].astype(np.float64), value_col[valid]]
+        ),
+        tag="xy:x",
+    )
+    x_delivered, x_stats = route_batch_two_phase(x_batch, n)
 
-    # Per-node minimisation, array-native: one minimum.at scatter over all
-    # delivered (t, s_a, value) records instead of dict-of-dict merges.
+    # Per-node minimisation: one minimum.at scatter over the delivered
+    # (t, s_a, value) columns.
     x_partial = np.full((n, size), INF)
-    x_records = [
-        (t, message.payload[0], message.payload[1])
-        for t in range(n)
-        for message in x_delivered.get(t, [])
-        if message.tag == "xy:x"
-    ]
-    if x_records:
-        t_arr, s_arr, v_arr = (np.asarray(col) for col in zip(*x_records))
+    if len(x_delivered):
         np.minimum.at(
             x_partial,
-            (t_arr.astype(np.int64), s_arr.astype(np.int64)),
-            v_arr.astype(np.float64),
+            (x_delivered.dst, x_delivered.payload[:, 0].astype(np.int64)),
+            x_delivered.payload[:, 1],
         )
 
-    # ---- y-values: v -> neighbour t messages. ------------------------ #
-    y_messages: List[Message] = []
-    for u, v, w in graph.edges():
-        y_messages.append(
-            Message(v, u, (int(center[v]), float(w + center_delta[v])), tag="xy:y")
-        )
-        y_messages.append(
-            Message(u, v, (int(center[u]), float(w + center_delta[u])), tag="xy:y")
-        )
-    y_delivered, y_stats = route_two_phase(y_messages, n)
+    # ---- y-values: v -> neighbour t messages (edge-array fan-out). --- #
+    eu, ev, ew = graph.edge_u, graph.edge_v, graph.edge_w
+    y_src = np.concatenate([ev, eu]).astype(np.int64)
+    y_dst = np.concatenate([eu, ev]).astype(np.int64)
+    y_val = np.concatenate([ew, ew]) + center_delta[y_src]
+    y_batch = MessageBatch(
+        src=y_src,
+        dst=y_dst,
+        payload=np.column_stack([center[y_src].astype(np.float64), y_val]),
+        tag="xy:y",
+    )
+    y_delivered, y_stats = route_batch_two_phase(y_batch, n)
 
     y_partial = np.full((n, size), INF)
     # the t = v case is local knowledge: y(t, c(t)) <= delta(t, c(t)).
-    np.minimum.at(
-        y_partial,
-        (np.arange(n), center.astype(np.int64)),
-        center_delta.astype(np.float64),
-    )
-    y_records = [
-        (t, message.payload[0], message.payload[1])
-        for t in range(n)
-        for message in y_delivered.get(t, [])
-        if message.tag == "xy:y"
-    ]
-    if y_records:
-        t_arr, s_arr, v_arr = (np.asarray(col) for col in zip(*y_records))
+    np.minimum.at(y_partial, (np.arange(n), center), center_delta)
+    if len(y_delivered):
         np.minimum.at(
             y_partial,
-            (t_arr.astype(np.int64), s_arr.astype(np.int64)),
-            v_arr.astype(np.float64),
+            (y_delivered.dst, y_delivered.payload[:, 0].astype(np.int64)),
+            y_delivered.payload[:, 1],
         )
 
     # ---- reporting: t sends each finite x(s_a, t) / y(t, s_b) to the
     # skeleton node (identified here by its compact index; the real model
     # would address the member's ID — a relabeling).  Receive load per
     # skeleton node is O(n). ------------------------------------------- #
-    report_messages: List[Message] = []
-    for kind, partial in ((0, x_partial), (1, y_partial)):
-        t_arr, s_arr = np.nonzero(np.isfinite(partial))
-        for t, s_index in zip(t_arr, s_arr):
-            report_messages.append(
-                Message(
-                    int(t),
-                    int(s_index) % n,
-                    (kind, int(s_index), int(t), float(partial[t, s_index])),
-                    tag="xy:report",
-                )
-            )
-    reports_delivered, report_stats = route_two_phase(
-        report_messages, n, bandwidth_words=6
+    xt, xs = np.nonzero(np.isfinite(x_partial))
+    yt, ys = np.nonzero(np.isfinite(y_partial))
+    report_batch = MessageBatch(
+        src=np.concatenate([xt, yt]).astype(np.int64),
+        dst=(np.concatenate([xs, ys]) % n).astype(np.int64),
+        payload=np.column_stack(
+            [
+                np.r_[np.zeros(len(xt)), np.ones(len(yt))],  # kind
+                np.concatenate([xs, ys]).astype(np.float64),
+                np.concatenate([xt, yt]).astype(np.float64),
+                np.r_[x_partial[xt, xs], y_partial[yt, ys]],
+            ]
+        ),
+        tag="xy:report",
     )
+    reports, report_stats = route_batch_two_phase(report_batch, n, bandwidth_words=6)
 
     x = np.full((size, n), INF)
     y = np.full((n, size), INF)
-    for node in range(n):
-        for message in reports_delivered.get(node, []):
-            if message.tag != "xy:report":
-                continue
-            kind, s_index, t, value = message.payload
-            if int(kind) == 0:
-                x[int(s_index), int(t)] = min(x[int(s_index), int(t)], float(value))
-            else:
-                y[int(t), int(s_index)] = min(y[int(t), int(s_index)], float(value))
+    if len(reports):
+        kind = reports.payload[:, 0].astype(np.int64)
+        s_index = reports.payload[:, 1].astype(np.int64)
+        t_index = reports.payload[:, 2].astype(np.int64)
+        value = reports.payload[:, 3]
+        is_x = kind == 0
+        np.minimum.at(x, (s_index[is_x], t_index[is_x]), value[is_x])
+        np.minimum.at(y, (t_index[~is_x], s_index[~is_x]), value[~is_x])
     return SkeletonXYResult(
         x=x,
         y=y,

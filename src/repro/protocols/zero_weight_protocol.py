@@ -13,7 +13,10 @@ Theorem 2.1's supporting algorithm, as an actual communication schedule:
    (node, leader) pair, as in the appendix);
 4. leaders take minima: the compressed graph's edge weights.
 
-Tests assert the compressed graph equals the global implementation's
+The per-(node, leader) lightest-edge selection and the leaders' minima are
+group-min reductions over flat edge columns, and the exchange itself is a
+single routed :class:`~repro.cclique.engine.MessageBatch`.  Tests assert
+the compressed graph equals the global implementation's
 (:func:`repro.core.zero_weights.compress_zero_components`).
 """
 
@@ -21,13 +24,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..cclique.message import Message
-from ..cclique.model import SimulatedClique
-from ..cclique.routing import RoutingStats, route_two_phase
+from ..cclique.engine import MessageBatch
+from ..cclique.routing import RoutingStats, route_batch_two_phase
 from ..graphs.graph import WeightedGraph
 from ..mst.boruvka import DisjointSets, minimum_spanning_forest
 
@@ -41,6 +42,16 @@ class ZeroWeightProtocolResult:
     compressed: WeightedGraph
     broadcast_rounds: int
     exchange_stats: RoutingStats
+
+
+def _group_min(keys: np.ndarray, values: np.ndarray) -> tuple:
+    """Per-unique-key minimum of ``values``; returns (unique_keys, minima)."""
+    if not len(keys):
+        return keys, values
+    order = np.lexsort((values, keys))
+    sorted_keys = keys[order]
+    first = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    return sorted_keys[first], values[order][first]
 
 
 def run_zero_weight_protocol(graph: WeightedGraph) -> ZeroWeightProtocolResult:
@@ -64,49 +75,54 @@ def run_zero_weight_protocol(graph: WeightedGraph) -> ZeroWeightProtocolResult:
             sets.union(u, v)
     roots = np.array([sets.find(v) for v in range(n)], dtype=np.int64)
     minimum = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-    for v in range(n):
-        minimum[roots[v]] = min(minimum[roots[v]], v)
+    np.minimum.at(minimum, roots, np.arange(n, dtype=np.int64))
     leader = minimum[roots]
     leaders = np.unique(leader)
-    compact = {int(s): index for index, s in enumerate(leaders)}
+    compact = np.full(n, -1, dtype=np.int64)
+    compact[leaders] = np.arange(len(leaders))
 
     # Step 3: each node v sends (own leader, lightest edge weight into
-    # C(t)) to every leader t it has an edge into.
-    lightest: Dict[Tuple[int, int], float] = {}
-    for u, v, w in graph.edges():
-        lu, lv = int(leader[u]), int(leader[v])
-        if lu == lv:
-            continue
-        for sender, target_leader, source_leader in (
-            (u, lv, lu),
-            (v, lu, lv),
-        ):
-            key = (sender, target_leader)
-            if key not in lightest or w < lightest[key]:
-                lightest[key] = w
-    messages = [
-        Message(sender, target_leader, (int(leader[sender]), weight), tag="zw")
-        for (sender, target_leader), weight in lightest.items()
-    ]
-    delivered, stats = route_two_phase(messages, n)
-
-    # Step 4 (at the leaders): minima per source component.
-    best: Dict[Tuple[int, int], float] = {}
-    for target_leader in leaders:
-        for message in delivered.get(int(target_leader), []):
-            if message.tag != "zw":
-                continue
-            source_leader, weight = int(message.payload[0]), float(message.payload[1])
-            a, b = sorted((compact[source_leader], compact[int(target_leader)]))
-            key = (a, b)
-            if key not in best or weight < best[key]:
-                best[key] = weight
-    compressed = WeightedGraph(
-        max(1, len(leaders)),
-        [(a, b, w) for (a, b), w in sorted(best.items())],
-        require_positive=True,
-        require_integer=True,
+    # C(t)) to every leader t it has an edge into — a group-min over the
+    # edge columns, then one routed batch.
+    eu, ev, ew = graph.edge_u, graph.edge_v, graph.edge_w
+    cross = leader[eu] != leader[ev]
+    senders = np.concatenate([eu[cross], ev[cross]])
+    targets = np.concatenate([leader[ev[cross]], leader[eu[cross]]])
+    weights = np.concatenate([ew[cross], ew[cross]])
+    pair_key = senders * n + targets
+    unique_pairs, lightest = _group_min(pair_key, weights.astype(np.float64))
+    msg_src = unique_pairs // n
+    msg_dst = unique_pairs % n
+    batch = MessageBatch(
+        src=msg_src,
+        dst=msg_dst,
+        payload=np.column_stack(
+            [leader[msg_src].astype(np.float64), lightest]
+        ),
+        tag="zw",
     )
+    delivered, stats = route_batch_two_phase(batch, n)
+
+    # Step 4 (at the leaders): minima per (source, target) component pair.
+    if len(delivered):
+        source_compact = compact[delivered.payload[:, 0].astype(np.int64)]
+        target_compact = compact[delivered.dst]
+        a = np.minimum(source_compact, target_compact)
+        b = np.maximum(source_compact, target_compact)
+        edge_key, edge_w = _group_min(
+            a * len(leaders) + b, delivered.payload[:, 1]
+        )
+        compressed = WeightedGraph.from_arrays(
+            max(1, len(leaders)),
+            edge_key // len(leaders),
+            edge_key % len(leaders),
+            edge_w,
+            require_positive=True,
+            require_integer=True,
+        )
+    else:
+        compressed = WeightedGraph(max(1, len(leaders)), [],
+                                   require_positive=True, require_integer=True)
     return ZeroWeightProtocolResult(
         leader=leader,
         leaders=leaders,

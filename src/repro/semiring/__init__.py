@@ -29,6 +29,7 @@ from .kernels import (
     auto_kernel,
     KERNEL_ENV,
     KernelSpec,
+    current_kernel_pin,
     get_kernel,
     iter_kernels,
     kernel_names,
@@ -44,6 +45,7 @@ from .kernels import (
 __all__ = [
     "AUTO",
     "auto_kernel",
+    "current_kernel_pin",
     "INF",
     "KERNEL_ENV",
     "KernelSpec",

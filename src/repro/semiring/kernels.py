@@ -175,6 +175,23 @@ def use_kernel(name: Optional[str]):
         _ambient_kernel.reset(token)
 
 
+def current_kernel_pin() -> Optional[str]:
+    """The explicit ambient kernel pin, if any.
+
+    Resolves the non-input-dependent part of the :func:`resolve_kernel`
+    precedence — the :func:`use_kernel` context, then the
+    ``REPRO_MINPLUS_KERNEL`` environment variable — and returns the pinned
+    kernel's canonical name, or ``None`` when auto-selection is in charge.
+    ``ApspSolver.solve_many`` captures this in the submitting process and
+    re-applies it inside executor workers (thread contexts and spawned
+    processes do not inherit the caller's :class:`~contextvars.ContextVar`).
+    """
+    for choice in (_ambient_kernel.get(), os.environ.get(KERNEL_ENV)):
+        if choice is not None and choice != "" and choice != AUTO:
+            return get_kernel(choice).name
+    return None
+
+
 def _is_integral(matrix: np.ndarray) -> bool:
     finite = np.isfinite(matrix)
     return bool(np.all(np.floor(matrix[finite]) == matrix[finite]))
@@ -521,6 +538,7 @@ __all__ = [
     "INF",
     "KERNEL_ENV",
     "KernelSpec",
+    "current_kernel_pin",
     "get_kernel",
     "iter_kernels",
     "kernel_names",

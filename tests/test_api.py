@@ -255,6 +255,78 @@ class TestApspResultJson:
         assert summary["rounds"] > 0
         assert summary["stretch"]["max_stretch"] >= 1.0
 
+    def test_b64_encoding_round_trips(self):
+        """The compact encoding is bit-exact, including inf entries."""
+        result = self.solve_one()
+        result.estimate[0, 1] = np.inf  # force a hole through the codec
+        payload = result.to_json(matrix_encoding="b64")
+        clone = ApspResult.from_json(payload)
+        assert np.array_equal(clone.estimate, result.estimate)
+        assert clone.factor == result.factor
+        record = json.loads(payload)["estimate"]
+        assert record["encoding"] == "b64"
+        assert record["shape"] == [result.n, result.n]
+
+    def test_b64_encoding_is_compact_and_strict(self):
+        result = self.solve_one()
+        # full-precision floats — the realistic large-n payload where the
+        # list encoding burns ~18 chars per entry vs b64's constant ~10.7
+        result.estimate *= np.pi
+        compact = result.to_json(matrix_encoding="b64")
+        verbose = result.to_json(matrix_encoding="list")
+        assert len(compact) < len(verbose)
+        json.loads(compact, parse_constant=lambda _: pytest.fail("non-strict JSON"))
+
+    def test_unknown_matrix_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            self.solve_one().to_dict(matrix_encoding="pickle")
+
+
+class TestKernelPinPropagation:
+    """The ambient use_kernel pin must survive into executor workers."""
+
+    def graphs(self):
+        return [erdos_renyi(24, 0.25, make_rng(s)) for s in range(3)]
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_ambient_pin_reaches_workers(self, executor):
+        from repro.semiring import use_kernel
+
+        solver = ApspSolver(SolverConfig(variant="theorem11", seed=0))
+        with use_kernel("tiled"):
+            results = solver.solve_many(self.graphs(), executor=executor,
+                                        max_workers=2)
+        assert [r.meta.get("kernel_pin") for r in results] == ["tiled"] * 3
+
+    def test_config_kernel_beats_ambient_pin(self):
+        from repro.semiring import use_kernel
+
+        solver = ApspSolver(SolverConfig(variant="theorem11", seed=0,
+                                         kernel="broadcast"))
+        with use_kernel("tiled"):
+            result = solver.solve(self.graphs()[0])
+        assert result.meta["kernel_pin"] == "broadcast"
+
+    def test_no_pin_means_auto(self):
+        solver = ApspSolver(SolverConfig(variant="theorem11", seed=0))
+        result = solver.solve(self.graphs()[0])
+        assert result.meta["kernel_pin"] is None
+
+    def test_pinned_process_results_match_serial(self):
+        """Regression: a non-default kernel is honored under process
+        executors and still yields bit-identical estimates."""
+        from repro.semiring import use_kernel
+
+        solver = ApspSolver(SolverConfig(variant="theorem11", seed=3))
+        graphs = self.graphs()
+        with use_kernel("tiled"):
+            pinned = solver.solve_many(graphs, executor="process", max_workers=2)
+        plain = solver.solve_many(graphs, executor="serial")
+        for a, b in zip(pinned, plain):
+            assert np.array_equal(a.estimate, b.estimate)
+            assert a.meta["kernel_pin"] == "tiled"
+            assert b.meta["kernel_pin"] is None
+
 
 class TestRegistrySweep:
     def test_registry_algorithms_enumerate(self):

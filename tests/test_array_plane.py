@@ -1,0 +1,335 @@
+"""Array-plane equivalence and engine tests.
+
+The contract of the communication-plane refactor: the struct-of-arrays
+engine (:class:`repro.cclique.engine.ArrayClique`) and everything built on
+it are *semantically identical* to the frozen per-message object simulator
+(:mod:`repro.cclique.reference`) — same round counts, same spill
+statistics, same delivered inboxes — while being usable at full load and
+four-digit n.  These tests enforce that equivalence on seeded instances
+and pin down the engine's own behaviours (strict checks, FIFO spill,
+words accounting, ring-buffered tracing).
+
+One deliberate fidelity *improvement* is also pinned here: the array
+router delivers the **original** message objects, so the sender field
+survives relaying (the legacy router rebuilt forwarded messages with the
+relay as sender); equivalence is therefore asserted on (receiver, payload,
+tag) and on all statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cclique import (
+    ArrayClique,
+    BandwidthExceededError,
+    InvalidNodeError,
+    Message,
+    MessageBatch,
+    MessageTooLargeError,
+    ObjectSimulatedClique,
+    SimulatedClique,
+    TraceRecorder,
+    route_batch_two_phase,
+    route_two_phase,
+    route_two_phase_reference,
+    traced_drain,
+    two_phase_relays,
+)
+from repro.cclique.trace import LinkEvent
+
+
+def full_load_messages(n: int, rng: np.random.Generator):
+    """n permutation rounds: every node sends and receives exactly n."""
+    messages = []
+    for _ in range(n):
+        perm = rng.permutation(n)
+        messages.extend(Message(s, int(perm[s]), (s,)) for s in range(n))
+    return messages
+
+
+def full_load_batch(n: int, rng: np.random.Generator) -> MessageBatch:
+    perms = np.stack([rng.permutation(n) for _ in range(n)])
+    src = np.tile(np.arange(n, dtype=np.int64), n)
+    return MessageBatch(
+        src=src, dst=perms.reshape(-1), payload=src.astype(np.float64).reshape(-1, 1)
+    )
+
+
+def random_instance(n: int, rng: np.random.Generator):
+    """A skewed random instance (duplicate links, uneven loads)."""
+    m = int(rng.integers(1, 5 * n))
+    return [
+        Message(int(rng.integers(n)), int(rng.integers(n)), (int(rng.integers(99)),))
+        for _ in range(m)
+    ]
+
+
+def inbox_signature(delivered, n):
+    """Comparable inbox content: sorted (payload, tag) per receiver."""
+    return [
+        sorted((m.payload, m.tag) for m in delivered.get(v, [])) for v in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Engine behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestArrayCliqueEngine:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            ArrayClique(0)
+        with pytest.raises(ValueError):
+            ArrayClique(4, bandwidth_words=0)
+
+    def test_stage_and_deliver_arrays(self):
+        clique = ArrayClique(4, bandwidth_words=2, strict=False)
+        clique.stage([0, 1], [2, 2], [[7.0], [8.0]])
+        clique.step()
+        view = clique.inbox_arrays(2)
+        assert sorted(view.payload[:, 0].tolist()) == [7.0, 8.0]
+        assert sorted(view.src.tolist()) == [0, 1]
+
+    def test_strict_duplicate_link_raises(self):
+        clique = ArrayClique(4, strict=True)
+        with pytest.raises(BandwidthExceededError):
+            clique.stage([0, 0], [1, 1], [[1.0], [2.0]])
+
+    def test_strict_duplicate_across_stages(self):
+        clique = ArrayClique(4, strict=True)
+        clique.stage(0, 1, 1.0)
+        with pytest.raises(BandwidthExceededError):
+            clique.stage(0, 1, 2.0)
+
+    def test_invalid_node_and_oversize(self):
+        clique = ArrayClique(4, bandwidth_words=1)
+        with pytest.raises(InvalidNodeError):
+            clique.stage(0, 9, 1.0)
+        with pytest.raises(MessageTooLargeError):
+            clique.stage(0, 1, np.ones((1, 5)))
+
+    def test_fifo_spill_schedule(self):
+        clique = ArrayClique(4, strict=False)
+        clique.stage([0, 0, 0], [1, 1, 1], [[0.0], [1.0], [2.0]])
+        rounds = clique.drain()
+        assert rounds == 3
+        assert clique.spill_rounds == 2
+        view = clique.inbox_arrays(1)
+        # FIFO: delivered in staging order across the three rounds.
+        assert view.payload[:, 0].tolist() == [0.0, 1.0, 2.0]
+
+    def test_words_accounting_decoupled_from_payload(self):
+        clique = ArrayClique(8, bandwidth_words=4, strict=False)
+        clique.stage(0, 1, [[1.0]], words=3)
+        clique.step()
+        assert clique.words_delivered == 3
+
+    def test_collect_groups_by_destination(self):
+        clique = ArrayClique(4, strict=False)
+        clique.stage([0, 1, 2], [3, 1, 3], [[1.0], [2.0], [3.0]])
+        clique.step()
+        node, view = clique.collect()
+        assert node.tolist() == [1, 3, 3]
+        assert len(view) == 3
+
+    def test_refs_round_trip(self):
+        clique = ArrayClique(4, strict=False)
+        payloads = ["alpha", "beta"]
+        clique.stage([0, 1], [2, 2], refs=payloads)
+        clique.step()
+        view = clique.inbox_arrays(2)
+        assert [clique.ref_object(int(r)) for r in view.ref] == payloads
+
+
+# --------------------------------------------------------------------- #
+# Adapter vs frozen object simulator
+# --------------------------------------------------------------------- #
+
+
+class TestAdapterEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_send_sequences_match(self, seed):
+        """Same sends -> same rounds, spills, stats, and inboxes."""
+        n = 12
+        rng = np.random.default_rng(seed)
+        adapter = SimulatedClique(n, bandwidth_words=2, strict=False)
+        reference = ObjectSimulatedClique(n, bandwidth_words=2, strict=False)
+        for _ in range(4):  # four rounds of random staging
+            for msg in random_instance(n, np.random.default_rng(rng.integers(1 << 30))):
+                adapter.send(msg)
+                reference.send(msg)
+            adapter.step()
+            reference.step()
+        adapter.drain()
+        reference.drain()
+        assert adapter.round_index == reference.round_index
+        assert adapter.spill_rounds == reference.spill_rounds
+        assert adapter.messages_delivered == reference.messages_delivered
+        assert adapter.words_delivered == reference.words_delivered
+        for v in range(n):
+            got = sorted((m.sender, m.payload) for m in adapter.inbox(v))
+            want = sorted((m.sender, m.payload) for m in reference.inbox(v))
+            assert got == want
+
+
+# --------------------------------------------------------------------- #
+# Routing: array plane vs object plane (the acceptance property)
+# --------------------------------------------------------------------- #
+
+
+class TestRoutingPlaneEquivalence:
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_full_load_planes_identical(self, n):
+        rng = np.random.default_rng(100 + n)
+        messages = full_load_messages(n, rng)
+        delivered_arr, stats_arr = route_two_phase(messages, n)
+        delivered_ref, stats_ref = route_two_phase_reference(messages, n)
+        assert stats_arr.rounds == stats_ref.rounds
+        assert stats_arr.spill_rounds == stats_ref.spill_rounds
+        assert stats_arr.relay_max_load == stats_ref.relay_max_load
+        assert stats_arr.max_received_per_node == stats_ref.max_received_per_node
+        assert inbox_signature(delivered_arr, n) == inbox_signature(delivered_ref, n)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_instances_planes_identical(self, seed):
+        n = 24
+        rng = np.random.default_rng(seed)
+        messages = random_instance(n, rng)
+        delivered_arr, stats_arr = route_two_phase(messages, n)
+        delivered_ref, stats_ref = route_two_phase_reference(messages, n)
+        assert (stats_arr.rounds, stats_arr.spill_rounds) == (
+            stats_ref.rounds,
+            stats_ref.spill_rounds,
+        )
+        assert inbox_signature(delivered_arr, n) == inbox_signature(delivered_ref, n)
+
+    def test_original_senders_survive_relaying(self):
+        """The array plane's fidelity improvement over the legacy router."""
+        n = 8
+        messages = [Message(s, 0, (s * 11,)) for s in range(n)]
+        delivered, _ = route_two_phase(messages, n)
+        assert sorted(m.sender for m in delivered[0]) == list(range(n))
+        assert all(m.payload == (m.sender * 11,) for m in delivered[0])
+
+    def test_empty_receivers_default_to_empty_list(self):
+        """Legacy contract: the delivered dict never KeyErrors on a node."""
+        delivered, _ = route_two_phase([Message(0, 1, (1.0,))], 4)
+        assert delivered[3] == []
+
+    def test_batch_tags_survive_materialization(self):
+        batch = MessageBatch(
+            src=np.array([0]), dst=np.array([1]),
+            payload=np.array([[5.0]]), tag="mytag",
+        )
+        delivery, _ = route_batch_two_phase(batch, 4)
+        message = delivery.to_messages()[1][0]
+        assert message.tag == "mytag"
+        assert message.payload == (5.0,)
+
+    def test_empty_broadcast_still_advances_two_rounds(self):
+        from repro.cclique import broadcast_words
+
+        clique = SimulatedClique(4, bandwidth_words=2)
+        _, rounds = broadcast_words(clique, 0, [])
+        assert rounds == 2
+        assert clique.round_index == 2
+
+    def test_relay_plan_matches_reference_formula(self):
+        n = 16
+        rng = np.random.default_rng(5)
+        batch = full_load_batch(n, rng)
+        relay = two_phase_relays(batch.src, batch.dst, n)
+        # slots per destination are globally distinct -> per-(dst, relay)
+        # load is at most ceil(n / n) + 1 with the rotation
+        load = np.bincount(batch.dst * n + relay, minlength=n * n)
+        assert load.max() <= 2
+
+    @pytest.mark.parametrize("n", [64, 128, 256])
+    def test_full_load_round_count_constant(self, n, full_load_round_counts):
+        """Lemma 2.1 at scale: the round count does not grow with n."""
+        assert full_load_round_counts[n] <= 12
+
+    def test_full_load_round_count_flat_across_sizes(self, full_load_round_counts):
+        """16x more messages, same O(1) round budget: the spread across a
+        4x size range stays within the spill tail's +-2, nowhere near the
+        Theta(n) growth direct routing would show."""
+        counts = list(full_load_round_counts.values())
+        assert max(counts) - min(counts) <= 2
+
+
+@pytest.fixture(scope="module")
+def full_load_round_counts():
+    """Measured two-phase rounds for seeded full load at n in {64,128,256}."""
+    counts = {}
+    for n in (64, 128, 256):
+        rng = np.random.default_rng(7)
+        batch = full_load_batch(n, rng)
+        _, stats = route_batch_two_phase(batch, n)
+        assert stats.messages == n * n
+        counts[n] = stats.rounds
+    return counts
+
+
+# --------------------------------------------------------------------- #
+# Trace ring buffer
+# --------------------------------------------------------------------- #
+
+
+class TestTraceRingBuffer:
+    def _congested(self, rounds: int) -> SimulatedClique:
+        clique = SimulatedClique(4, strict=False)
+        for i in range(rounds):
+            clique.send(Message(0, 1, (i,)))
+        return clique
+
+    def test_unbounded_mode_keeps_everything(self):
+        clique = self._congested(10)
+        recorder = traced_drain(clique, max_bytes=None)
+        assert recorder.rounds == 10
+        assert recorder.retained_rounds == 10
+        assert recorder.dropped_events == 0
+
+    def test_ring_drops_oldest_and_counts(self):
+        clique = self._congested(50)
+        recorder = traced_drain(clique, max_bytes=96 * 10)
+        assert recorder.rounds == 50  # cumulative counters survive eviction
+        assert recorder.total_messages == 50
+        assert recorder.retained_rounds <= 10
+        assert recorder.dropped_events == 50 - recorder.retained_rounds
+        # the retained window is the most recent rounds
+        assert recorder.snapshots[-1].round_index == clique.round_index
+        assert "dropped" in recorder.timeline()
+
+    def test_link_events_recorded_from_engine(self):
+        clique = SimulatedClique(4, strict=False)
+        for i in range(3):
+            clique.send(Message(0, 1, (i,)))
+        clique.send(Message(2, 3, (9,)))
+        recorder = traced_drain(clique, record_links=True)
+        assert recorder.link_events
+        first = recorder.link_events[0]
+        assert isinstance(first, LinkEvent)
+        links = {
+            (int(s), int(d)): int(c)
+            for s, d, c in zip(first.src, first.dst, first.count)
+        }
+        # round 1 delivers one message per congested link
+        assert links == {(0, 1): 1, (2, 3): 1}
+
+    def test_link_events_respect_byte_budget(self):
+        clique = self._congested(60)
+        recorder = traced_drain(clique, max_bytes=1500, record_links=True)
+        assert recorder.dropped_events > 0
+        assert recorder.bytes_used <= 1500
+
+    def test_recorder_works_on_bare_engine(self):
+        engine = ArrayClique(4, strict=False)
+        engine.stage([0, 0], [1, 1], [[1.0], [2.0]])
+        recorder = TraceRecorder(engine, record_links=True)
+        engine.step()
+        recorder.snapshot()
+        assert recorder.total_messages == 1
+        assert recorder.link_events
