@@ -6,10 +6,12 @@ to network routing".  This example plays that out on a simulated ISP-like
 topology (preferential attachment — heavy-tailed degrees):
 
 1. every node learns approximate distances via the Theorem 7.1 pipeline;
-2. routing tables are derived greedily from the estimates;
-3. packets are forwarded between random pairs and measured for delivery
-   rate and path stretch, compared against tables built from a plain
-   O(log n)-spanner estimate (the prior O(1)-round state of the art).
+2. a :class:`repro.serve.DistanceOracle` is assembled from the estimates
+   (vectorized next-hop tables — the serving artifact);
+3. packets are batch-forwarded between random pairs and audited for
+   delivery rate and path stretch, compared against an oracle built from
+   a plain O(log n)-spanner estimate (the prior O(1)-round state of the
+   art).
 
 The point: the constant-factor estimate buys visibly shorter routes than
 the spanner-only estimate at a comparable (near-constant) round budget.
@@ -26,8 +28,8 @@ import numpy as np
 from repro import apsp_small_diameter, exact_apsp, preferential_attachment
 from repro import spanner_only_baseline
 from repro.cclique import RoundLedger
-from repro.core.routing_tables import greedy_route, routing_quality
 from repro.graphs import heavy_tail_weights
+from repro.serve import DistanceOracle, audit_stretch, route_batch
 
 
 def main(n: int = 128) -> None:
@@ -48,25 +50,31 @@ def main(n: int = 128) -> None:
 
     print(f"{'tables from':<24} {'rounds':>6} {'bound':>7} "
           f"{'delivery':>9} {'mean stretch':>13} {'max':>7}")
+    oracles = {}
     for name, (result, rounds) in candidates.items():
-        quality = routing_quality(graph, result.estimate, exact, rng, samples=400)
+        oracle = DistanceOracle.build(graph, result)
+        oracles[name] = oracle
+        audit = audit_stretch(oracle, exact, rng, samples=400)
         print(
             f"{name:<24} {rounds:>6} {result.factor:>7.1f} "
-            f"{quality.delivery_rate:>8.1%} {quality.mean_stretch:>13.3f} "
-            f"{quality.max_stretch:>7.3f}"
+            f"{audit.delivery_rate:>8.1%} {audit.mean_stretch:>13.3f} "
+            f"{audit.max_stretch:>7.3f}"
         )
 
-    # Show one concrete route.
+    # Show one concrete route, reconstructed by the batch router.
     print()
     source, target = 1, n - 1
-    route = greedy_route(graph, ours.estimate, source, target)
-    print(
-        f"example packet {source} -> {target}: "
-        f"{' -> '.join(map(str, route.path))}"
+    routes = route_batch(
+        oracles["this paper (Thm 7.1)"], [source], [target], record_paths=True
     )
     print(
-        f"  length {route.length:.0f} vs optimal {exact[source, target]:.0f} "
-        f"({route.length / exact[source, target]:.2f}x)"
+        f"example packet {source} -> {target}: "
+        f"{' -> '.join(map(str, routes.path(0)))}"
+    )
+    print(
+        f"  length {routes.lengths[0]:.0f} vs optimal "
+        f"{exact[source, target]:.0f} "
+        f"({routes.lengths[0] / exact[source, target]:.2f}x)"
     )
 
     # Where the paper wins: the spanner guarantee is O(log n) — it *grows*

@@ -110,6 +110,28 @@ def main(n: int = 96) -> None:
           f"{protocol.rounds} rounds, hopset has "
           f"{protocol.hopset.num_edges} edges")
 
+    # The query plane (repro.serve): precompute a distance oracle from a
+    # result and serve batched queries / greedy routes from the artifact —
+    # the "network routing" product surface the paper motivates.
+    from repro.serve import route_batch
+
+    oracle = results[0].oracle(graphs[0])
+    qrng = np.random.default_rng(11)
+    sources = qrng.integers(0, n, size=256)
+    targets = qrng.integers(0, n, size=256)
+    dists = oracle.query_many(sources, targets)
+    routes = route_batch(oracle, sources, targets)
+    print(f"\noracle: {dists.size} distance queries in one gather; batch "
+          f"router delivered {int(routes.delivered.sum())}/{routes.size} "
+          f"packets ({routes.outcome_counts()})")
+    ids, _ = oracle.k_nearest(3, sources=[0])
+    print(f"oracle: 3 nearest of node 0 by estimate: {ids[0].tolist()}")
+    clone = type(oracle).from_json(oracle.to_json())  # b64-compact artifact
+    assert np.array_equal(clone.estimate, oracle.estimate)
+    assert np.array_equal(clone.next_hop, oracle.next_hop)
+    print(f"oracle: persisted + reloaded bit-identically "
+          f"({len(oracle.to_json())} bytes)")
+
     # Back-compat path: the legacy one-call API, equivalent to stream 0 of
     # the batch above when given the same RNG stream.
     legacy = approximate_apsp(graphs[0], rng=config.rng_for(0))

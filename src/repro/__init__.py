@@ -41,6 +41,8 @@ Package layout (see DESIGN.md):
 * :mod:`repro.mst` — Borůvka engine for the zero-weight reduction,
 * :mod:`repro.core` — the paper's algorithms (Sections 4–8) + the
   variant registry,
+* :mod:`repro.serve` — the distance-oracle query plane (oracle
+  artifacts, batch greedy routing, k-nearest, stretch audits),
 * :mod:`repro.analysis` — stretch profiles and experiment tables.
 """
 
@@ -88,23 +90,37 @@ from .semiring import (
     register_kernel,
     use_kernel,
 )
+from .serve import (
+    BatchRoutes,
+    DistanceOracle,
+    OracleStore,
+    StretchAudit,
+    audit_stretch,
+    route_batch,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ApspResult",
     "ApspSolver",
+    "BatchRoutes",
+    "DistanceOracle",
     "Estimate",
     "ExactOracleCache",
     "KernelSpec",
     "ArrayClique",
     "MessageBatch",
+    "OracleStore",
     "RoundLedger",
     "SimulatedClique",
     "SolverConfig",
+    "StretchAudit",
     "VariantSpec",
     "WeightedGraph",
     "approximate_apsp",
+    "audit_stretch",
+    "route_batch",
     "cached_exact_apsp",
     "graph_content_hash",
     "iter_kernels",

@@ -257,6 +257,19 @@ class ApspResult(Estimate):
             stretch=None if stretch is None else ApproximationReport(**stretch),
         )
 
+    def oracle(self, graph: WeightedGraph, **meta: Any) -> "Any":
+        """Assemble a :class:`repro.serve.DistanceOracle` from this result.
+
+        The query-plane artifact: the estimate matrix plus a vectorized
+        next-hop table over ``graph``, ready for ``query_many`` /
+        ``route_batch`` / persistence.  ``graph`` must be the instance
+        this result was solved on; extra keyword arguments are merged
+        into the oracle's metadata.
+        """
+        from .serve import DistanceOracle  # local import: serve layers on api
+
+        return DistanceOracle.build(graph, self, meta=meta or None)
+
 
 class ApspSolver:
     """The solver facade: one config, any number of graphs.
@@ -397,16 +410,19 @@ def _matrix_from_jsonable(rows: List[List[Optional[float]]]) -> np.ndarray:
     return out
 
 
-def _matrix_to_b64(matrix: np.ndarray) -> Dict[str, Any]:
-    """Compact encoding: raw little-endian float64 bytes, base64-wrapped.
+def _matrix_to_b64(matrix: np.ndarray, dtype: str = "<f8") -> Dict[str, Any]:
+    """Compact encoding: raw little-endian bytes, base64-wrapped.
 
     ``inf`` needs no special casing — it round-trips through the binary
     representation exactly, unlike the strict-JSON ``list`` encoding.
+    ``dtype`` selects the stored element type (``"<f8"`` for distance
+    matrices, ``"<i8"`` for next-hop tables); the record carries it, so
+    :func:`_matrix_from_b64` restores the array losslessly.
     """
-    dense = np.ascontiguousarray(matrix, dtype="<f8")
+    dense = np.ascontiguousarray(matrix, dtype=np.dtype(dtype))
     return {
         "encoding": "b64",
-        "dtype": "<f8",
+        "dtype": dense.dtype.str,
         "shape": list(dense.shape),
         "data": base64.b64encode(dense.tobytes()).decode("ascii"),
     }
@@ -417,9 +433,7 @@ def _matrix_from_b64(record: Mapping[str, Any]) -> np.ndarray:
         raise ValueError(f"unknown matrix encoding: {record.get('encoding')!r}")
     raw = base64.b64decode(record["data"])
     out = np.frombuffer(raw, dtype=np.dtype(record.get("dtype", "<f8")))
-    return out.reshape(tuple(int(d) for d in record["shape"])).astype(
-        np.float64, copy=True
-    )
+    return out.reshape(tuple(int(d) for d in record["shape"])).copy()
 
 
 def _ledger_to_dict(ledger: RoundLedger) -> Dict[str, Any]:

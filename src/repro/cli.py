@@ -26,6 +26,15 @@ Commands
     Run one variant and print the per-phase wall-clock / round breakdown
     measured by the ledger's phase contexts — where pipeline time goes.
 
+``query``
+    Solve one workload, assemble a distance oracle (through the
+    process-wide :data:`repro.serve.DEFAULT_STORE`), and answer a batch
+    of random distance queries plus a k-nearest sample.
+
+``routes``
+    Batch-route sampled packets over the oracle's greedy next-hop table
+    and print the delivery/stretch audit plus one example path.
+
 All commands take ``--n``, ``--family``, ``--seed`` and ``--kernel``
 (min-plus kernel override for every tropical product of the command);
 outputs are plain text tables, suitable for piping into experiment logs.
@@ -41,6 +50,7 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import format_table, stretch_profile, summarize_stretch
+from .api import ApspSolver, SolverConfig
 from .cclique import MessageBatch, RoundLedger, route_batch_two_phase
 from .core import iter_variants, run_variant, variant_names
 from .graphs import (
@@ -56,6 +66,7 @@ from .graphs import (
     preferential_attachment,
 )
 from .protocols import run_distributed_bellman_ford
+from .serve import DEFAULT_STORE, audit_stretch, route_batch
 from .semiring import (
     AUTO,
     KERNEL_ENV,
@@ -239,6 +250,87 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_oracle(args: argparse.Namespace):
+    """Solve the workload and fetch its oracle through the shared store."""
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    # ``t`` is forwarded for the tradeoff variant; the registry drops it
+    # for variants that don't take it.
+    solver = ApspSolver(
+        SolverConfig(variant=args.variant, seed=args.seed, t=args.t)
+    )
+    result = solver.solve(graph)
+    oracle = DEFAULT_STORE.get_or_build(graph, result)
+    return graph, result, oracle
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph, result, oracle = _build_oracle(args)
+    exact = cached_exact_apsp(graph)
+    print(f"graph   : {graph}")
+    print(f"oracle  : variant={args.variant} factor={oracle.factor:.1f} "
+          f"{oracle.nbytes / 2**20:.2f} MiB "
+          f"(store key {DEFAULT_STORE.key_for(graph, result)[:16]}..., "
+          f"{len(DEFAULT_STORE)} cached)")
+    qrng = np.random.default_rng(args.seed + 1)
+    sources = qrng.integers(0, graph.n, size=args.queries)
+    targets = qrng.integers(0, graph.n, size=args.queries)
+    estimates = oracle.query_many(sources, targets)
+    rows = []
+    for s, t, est in zip(sources, targets, estimates):
+        true = exact[s, t]
+        ratio = est / true if np.isfinite(true) and true > 0 else float("nan")
+        rows.append((int(s), int(t),
+                     "inf" if not np.isfinite(est) else f"{est:.0f}",
+                     "inf" if not np.isfinite(true) else f"{true:.0f}",
+                     f"{ratio:.3f}"))
+    print()
+    print(format_table(["source", "target", "estimate", "exact", "ratio"],
+                       rows, title=f"{args.queries} random distance queries"))
+    k = min(args.k, graph.n - 1)
+    anchor = int(sources[0]) if len(sources) else 0
+    if k >= 1:
+        ids, dists = oracle.k_nearest(k, sources=[anchor])
+        pairs = ", ".join(
+            f"{v} (d~{d:.0f})" for v, d in zip(ids[0], dists[0]) if v >= 0
+        )
+        print(f"\n{k}-nearest of node {anchor}: {pairs}")
+    return 0
+
+
+def cmd_routes(args: argparse.Namespace) -> int:
+    graph, result, oracle = _build_oracle(args)
+    exact = cached_exact_apsp(graph)
+    audit = audit_stretch(
+        oracle, exact, np.random.default_rng(args.seed + 1), samples=args.pairs
+    )
+    print(f"graph   : {graph}")
+    print(f"oracle  : variant={args.variant} factor={oracle.factor:.1f}")
+    print(f"sampled : {audit.samples} pairs -> {audit.attempts} attempted "
+          f"({audit.skipped_self} self, {audit.skipped_unreachable} "
+          f"unreachable, {audit.skipped_zero} zero-distance)")
+    rate = audit.delivery_rate
+    print(f"routing : delivered {audit.delivered} "
+          f"({'n/a' if np.isnan(rate) else f'{rate:.1%}'}), "
+          f"{audit.loops} loops, {audit.dead_ends} dead ends, "
+          f"{audit.budget_exhausted} over budget")
+    if audit.delivered:
+        print(f"stretch : mean {audit.mean_stretch:.3f}, "
+              f"max {audit.max_stretch:.3f} (bound {oracle.factor:.1f})")
+    qrng = np.random.default_rng(args.seed + 2)
+    finite = np.isfinite(exact) & (exact > 0)
+    pairs = np.argwhere(finite)
+    if len(pairs):
+        s, t = map(int, pairs[qrng.integers(0, len(pairs))])
+        routes = route_batch(oracle, [s], [t], record_paths=True)
+        print(f"\nexample packet {s} -> {t}: "
+              f"{' -> '.join(map(str, routes.path(0)))}")
+        if routes.delivered[0]:
+            print(f"  length {routes.lengths[0]:.0f} vs optimal "
+                  f"{exact[s, t]:.0f} ({routes.lengths[0] / exact[s, t]:.2f}x)")
+    return 0
+
+
 def cmd_kernels(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     graph = build_workload(args.family, args.n, rng)
@@ -314,6 +406,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--t", type=int, default=2, help="tradeoff parameter"
     )
     profile_parser.set_defaults(handler=cmd_profile)
+
+    query_parser = subparsers.add_parser(
+        "query", help="answer distance queries from a built oracle"
+    )
+    _common_arguments(query_parser)
+    query_parser.add_argument(
+        "--variant",
+        choices=variant_names(),
+        default="theorem11",
+    )
+    query_parser.add_argument(
+        "--t", type=int, default=2, help="tradeoff parameter"
+    )
+    query_parser.add_argument(
+        "--queries", type=int, default=8, help="random pairs to query"
+    )
+    query_parser.add_argument(
+        "--k", type=int, default=5, help="k for the k-nearest sample"
+    )
+    query_parser.set_defaults(handler=cmd_query)
+
+    routes_parser = subparsers.add_parser(
+        "routes", help="batch-route packets over the oracle's tables"
+    )
+    _common_arguments(routes_parser)
+    routes_parser.add_argument(
+        "--variant",
+        choices=variant_names(),
+        default="theorem11",
+    )
+    routes_parser.add_argument(
+        "--t", type=int, default=2, help="tradeoff parameter"
+    )
+    routes_parser.add_argument(
+        "--pairs", type=int, default=256, help="sampled source/target pairs"
+    )
+    routes_parser.set_defaults(handler=cmd_routes)
 
     return parser
 

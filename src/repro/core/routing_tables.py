@@ -11,6 +11,14 @@ worst case, cyclic; :func:`greedy_route` therefore tracks visited nodes and
 reports failures, and :func:`routing_quality` measures the empirical
 success rate and path stretch — the quantity a routing-table consumer of
 this library actually cares about.
+
+The table construction is array-native: :func:`next_hop_table` is one
+vectorized program over the graph's CSR adjacency, and
+:func:`next_hop_table_reference` keeps the per-node implementation as the
+frozen differential-testing target (the ``cclique.reference`` pattern).
+The vectorized query side — batch routing, k-nearest, stretch audits —
+lives in :mod:`repro.serve`; this module remains the per-call reference it
+is tested against.
 """
 
 from __future__ import annotations
@@ -36,12 +44,79 @@ class Route:
         return max(0, len(self.path) - 1)
 
 
-def next_hop_table(graph: WeightedGraph, estimate: np.ndarray) -> np.ndarray:
+def next_hop_table(
+    graph: WeightedGraph,
+    estimate: np.ndarray,
+    chunk_elems: Optional[int] = None,
+) -> np.ndarray:
     """``table[u, t]`` = the neighbour ``u`` forwards to for target ``t``.
 
     The greedy rule: minimize ``w(u, v) + estimate(v, t)`` over neighbours
-    ``v`` of ``u`` (ties by neighbour ID).  ``-1`` marks "no neighbour"
-    (isolated node or all-infinite estimates).  ``table[t, t] = t``.
+    ``v`` of ``u``, breaking score ties strictly by the smallest neighbour
+    ID.  ``-1`` marks "no neighbour" (isolated node or all-infinite
+    estimates).  ``table[t, t] = t``.
+
+    The computation is an array program over the CSR adjacency with no
+    per-``u`` Python loop: source rows are grouped by exact out-degree
+    (so each group is a rectangular ``(rows, d)`` block of neighbour
+    ids/weights with zero padding waste), each block's neighbour slots
+    are pre-sorted by neighbour ID (``argmin``'s first-minimum rule then
+    realises the documented ID tie-break for free), and one
+    ``argmin(axis=1)`` over ``weights[:, :, None] + estimate[ids]``
+    resolves a whole group of rows against every target at once.
+    ``chunk_elems`` bounds the per-call score-tensor size (default ~0.5M
+    elements, ~4 MiB — keeps the working set cache-resident).
+    :func:`next_hop_table_reference` is the per-node implementation this
+    one is differentially tested against.
+    """
+    n = graph.n
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if estimate.shape != (n, n):
+        raise ValueError("estimate must be (n, n)")
+    if chunk_elems is None:
+        chunk_elems = 1 << 19
+    table = np.full((n, n), -1, dtype=np.int64)
+    csr = graph.csr()
+    if csr.num_entries:
+        degrees = csr.degrees
+        for d in np.unique(degrees):
+            if d == 0:
+                continue
+            d = int(d)
+            rows = np.nonzero(degrees == d)[0]
+            pos = csr.indptr[rows][:, None] + np.arange(d)[None, :]
+            ids = csr.indices[pos]
+            weights = csr.weights[pos]
+            # Slots in ID order: the first score minimum argmin finds is
+            # then the smallest neighbour ID among the tied minima.
+            order = np.argsort(ids, axis=1, kind="stable")
+            ids = np.take_along_axis(ids, order, axis=1)
+            weights = np.take_along_axis(weights, order, axis=1)
+            chunk = int(max(1, chunk_elems // max(d * n, 1)))
+            for lo in range(0, rows.size, chunk):
+                hi = min(rows.size, lo + chunk)
+                # scores[r, j, t] = w(rows[r], ids[r, j]) + estimate[ids[r, j], t]
+                scores = weights[lo:hi, :, None] + estimate[ids[lo:hi]]
+                slot = scores.argmin(axis=1)
+                best = np.take_along_axis(
+                    scores, slot[:, None, :], axis=1
+                )[:, 0, :]
+                chosen = np.take_along_axis(ids[lo:hi], slot, axis=1)
+                table[rows[lo:hi]] = np.where(np.isfinite(best), chosen, -1)
+    np.fill_diagonal(table, np.arange(n))
+    return table
+
+
+def next_hop_table_reference(
+    graph: WeightedGraph, estimate: np.ndarray
+) -> np.ndarray:
+    """Per-node reference implementation of :func:`next_hop_table`.
+
+    Frozen as the differential-testing target for the vectorized table
+    (same role as ``repro.cclique.reference`` for the round engine): one
+    Python loop per source node, scores sorted into pure neighbour-ID
+    order so ``argmin``'s first-minimum rule realises the documented
+    "ties strictly by ID" contract.
     """
     n = graph.n
     estimate = np.asarray(estimate, dtype=np.float64)
@@ -55,16 +130,15 @@ def next_hop_table(graph: WeightedGraph, estimate: np.ndarray) -> np.ndarray:
             continue
         ids = np.array([v for v, _ in neighbours], dtype=np.int64)
         weights = np.array([w for _, w in neighbours])
-        # scores[j, t] = w(u, ids[j]) + estimate[ids[j], t]
-        scores = weights[:, None] + estimate[ids, :]
-        best = np.argmin(scores, axis=0)  # first minimum = smallest ID after
-        # adjacency sort (weight, id); re-break ties strictly by ID:
-        order = np.lexsort((ids, weights))
+        # Adjacency rows arrive (weight, id)-sorted; re-sort into pure ID
+        # order so the first score minimum is the smallest neighbour ID.
+        order = np.argsort(ids)
         ids_sorted = ids[order]
-        scores_sorted = scores[order]
-        best = np.argmin(scores_sorted, axis=0)
+        # scores[j, t] = w(u, ids_sorted[j]) + estimate[ids_sorted[j], t]
+        scores = weights[order][:, None] + estimate[ids_sorted, :]
+        best = np.argmin(scores, axis=0)
         table[u, :] = ids_sorted[best]
-        finite = np.isfinite(scores_sorted[best, np.arange(n)])
+        finite = np.isfinite(scores[best, np.arange(n)])
         table[u, ~finite] = -1
     np.fill_diagonal(table, np.arange(n))
     return table
@@ -81,7 +155,10 @@ def greedy_route(
     """Forward a packet greedily from ``source`` to ``target``.
 
     Stops on arrival, on a dead end, on a revisited node (loop), or after
-    ``max_hops`` (default ``2 n``).
+    ``max_hops`` (default ``2 n``).  A loop failure records the hop that
+    closes the cycle in ``path`` (the evidence) but not in ``length`` —
+    the packet is dropped at the revisited node, not carried over the
+    edge again.
     """
     n = graph.n
     if table is None:
@@ -97,10 +174,11 @@ def greedy_route(
         nxt = int(table[current, target])
         if nxt < 0 or not np.isfinite(matrix[current, nxt]):
             return Route(path=path, length=length, delivered=False)
+        if nxt in visited:
+            path.append(nxt)
+            return Route(path=path, length=length, delivered=False)
         length += float(matrix[current, nxt])
         path.append(nxt)
-        if nxt in visited:
-            return Route(path=path, length=length, delivered=False)
         visited.add(nxt)
         current = nxt
     return Route(path=path, length=length, delivered=current == target)
@@ -108,16 +186,26 @@ def greedy_route(
 
 @dataclass
 class RoutingQuality:
-    """Aggregate forwarding statistics over sampled pairs."""
+    """Aggregate forwarding statistics over sampled pairs.
+
+    ``skipped_zero`` counts sampled pairs whose *exact* distance is zero
+    (zero-weight components): their stretch is undefined (any positive
+    route length divides to infinity), so they are excluded from
+    ``attempts`` and flagged here instead.
+    """
 
     attempts: int
     delivered: int
     mean_stretch: float
     max_stretch: float
+    skipped_zero: int = 0
 
     @property
     def delivery_rate(self) -> float:
-        return self.delivered / self.attempts if self.attempts else 1.0
+        """Delivered fraction; ``nan`` when no pair was ever attempted."""
+        if not self.attempts:
+            return float("nan")
+        return self.delivered / self.attempts
 
 
 def routing_quality(
@@ -127,16 +215,25 @@ def routing_quality(
     rng: np.random.Generator,
     samples: int = 200,
 ) -> RoutingQuality:
-    """Sample source/target pairs and measure greedy-forwarding quality."""
+    """Sample source/target pairs and measure greedy-forwarding quality.
+
+    The vectorized, oracle-based version of this measurement is
+    :func:`repro.serve.audit_stretch`; this per-call loop is kept as the
+    reference implementation.
+    """
     n = graph.n
     table = next_hop_table(graph, estimate)
     stretches: List[float] = []
     delivered = 0
     attempts = 0
+    skipped_zero = 0
     for _ in range(samples):
         source = int(rng.integers(0, n))
         target = int(rng.integers(0, n))
         if source == target or not np.isfinite(exact[source, target]):
+            continue
+        if exact[source, target] <= 0.0:
+            skipped_zero += 1
             continue
         attempts += 1
         route = greedy_route(graph, estimate, source, target, table=table)
@@ -144,10 +241,13 @@ def routing_quality(
             delivered += 1
             stretches.append(route.length / exact[source, target])
     if not stretches:
-        return RoutingQuality(attempts, delivered, float("nan"), float("nan"))
+        return RoutingQuality(
+            attempts, delivered, float("nan"), float("nan"), skipped_zero
+        )
     return RoutingQuality(
         attempts=attempts,
         delivered=delivered,
         mean_stretch=float(np.mean(stretches)),
         max_stretch=float(np.max(stretches)),
+        skipped_zero=skipped_zero,
     )

@@ -1,0 +1,60 @@
+"""The distance-oracle query plane: precompute once, serve many queries.
+
+The solve-side planes (facade, kernels, construction, communication)
+produce an :class:`~repro.api.ApspResult`; this package is the *query*
+side the paper's routing motivation actually exercises:
+
+* :class:`DistanceOracle` — the serving artifact (estimate matrix,
+  vectorized next-hop table, per-hop edge weights, provenance metadata)
+  with compact content-hash-keyed persistence;
+* :class:`OracleStore` — a thread-safe LRU of built oracles, keyed the
+  same way as the exact-distance cache;
+* :func:`route_batch` — the batch greedy router: every in-flight packet
+  advances one hop per numpy step (differentially tested against the
+  per-call :func:`repro.core.routing_tables.greedy_route`);
+* :func:`audit_stretch` — vectorized delivery/stretch sampling that
+  subsumes :func:`repro.core.routing_tables.routing_quality`;
+* ``DistanceOracle.query_many`` / ``DistanceOracle.k_nearest`` — bulk
+  distance and nearest-neighbour queries.
+
+Typical use::
+
+    result = ApspSolver(SolverConfig(variant="theorem11")).solve(graph)
+    oracle = result.oracle(graph)            # or DEFAULT_STORE.get_or_build
+    dists = oracle.query_many(sources, targets)
+    routes = route_batch(oracle, sources, targets, record_paths=True)
+    oracle.save("oracle.json")               # b64-compact, bit-exact reload
+"""
+
+from .engine import (
+    STATUS_BUDGET,
+    STATUS_DEAD_END,
+    STATUS_DELIVERED,
+    STATUS_LOOP,
+    STATUS_NAMES,
+    BatchRoutes,
+    StretchAudit,
+    audit_stretch,
+    route_batch,
+)
+from .oracle import ORACLE_FORMAT, ORACLE_VERSION, DistanceOracle
+from .store import DEFAULT_STORE, OracleStore, estimate_digest, oracle_key
+
+__all__ = [
+    "BatchRoutes",
+    "DEFAULT_STORE",
+    "DistanceOracle",
+    "ORACLE_FORMAT",
+    "ORACLE_VERSION",
+    "OracleStore",
+    "StretchAudit",
+    "STATUS_BUDGET",
+    "STATUS_DEAD_END",
+    "STATUS_DELIVERED",
+    "STATUS_LOOP",
+    "STATUS_NAMES",
+    "audit_stretch",
+    "estimate_digest",
+    "oracle_key",
+    "route_batch",
+]

@@ -1,0 +1,275 @@
+"""The vectorized batch query engine over a :class:`DistanceOracle`.
+
+:func:`route_batch` replaces the per-hop, per-query Python loop of
+:func:`repro.core.routing_tables.greedy_route` with one numpy step per
+hop that advances *all* in-flight packets at once: a gather from the
+next-hop table, a dead-end mask, a revisit check against a ``(q, n)``
+visited bitmap, and a scatter of lengths/positions.  Semantics are
+bit-identical to the (fixed) per-call router — same paths, same float
+accumulation order per packet, same loop/dead-end/budget outcomes —
+which the differential tests and ``benchmarks/bench_query.py`` pin.
+
+:func:`audit_stretch` is the sampling measurement built on top: it
+subsumes :func:`repro.core.routing_tables.routing_quality` with honest
+accounting (zero attempts stay zero; zero-distance exact pairs are
+flagged, not divided by) plus per-outcome failure counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .oracle import DistanceOracle
+
+#: Per-query outcome codes in :attr:`BatchRoutes.status`.
+STATUS_DELIVERED = 0
+STATUS_DEAD_END = 1
+STATUS_LOOP = 2
+STATUS_BUDGET = 3
+
+STATUS_NAMES = {
+    STATUS_DELIVERED: "delivered",
+    STATUS_DEAD_END: "dead-end",
+    STATUS_LOOP: "loop",
+    STATUS_BUDGET: "budget",
+}
+
+
+@dataclass
+class BatchRoutes:
+    """Outcome of one :func:`route_batch` call (arrays indexed by query).
+
+    ``lengths`` accumulates exactly the edges a packet traversed: a loop
+    failure records the cycle-closing hop in ``paths``/``hops`` but not
+    in ``lengths`` (the packet is dropped at the revisited node), and a
+    dead end stops before any further accrual — matching
+    :func:`repro.core.routing_tables.greedy_route`.
+    """
+
+    sources: np.ndarray  # (q,) int64
+    targets: np.ndarray  # (q,) int64
+    delivered: np.ndarray  # (q,) bool
+    lengths: np.ndarray  # (q,) float64
+    hops: np.ndarray  # (q,) int64
+    status: np.ndarray  # (q,) int8, STATUS_* codes
+    paths: Optional[np.ndarray] = None  # (q, max_hops_taken + 1), -1-padded
+
+    @property
+    def size(self) -> int:
+        return len(self.sources)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered fraction; ``nan`` for an empty batch."""
+        if not self.size:
+            return float("nan")
+        return float(np.mean(self.delivered))
+
+    def path(self, i: int) -> List[int]:
+        """Query ``i``'s node sequence (requires ``record_paths=True``)."""
+        if self.paths is None:
+            raise ValueError("paths were not recorded; pass record_paths=True")
+        row = self.paths[i]
+        return row[: int(self.hops[i]) + 1].tolist()
+
+    def outcome_counts(self) -> dict:
+        """``{outcome name: count}`` over the whole batch."""
+        return {
+            name: int(np.count_nonzero(self.status == code))
+            for code, name in STATUS_NAMES.items()
+        }
+
+
+def route_batch(
+    oracle: DistanceOracle,
+    sources: Sequence[int],
+    targets: Sequence[int],
+    max_hops: Optional[int] = None,
+    record_paths: bool = False,
+) -> BatchRoutes:
+    """Greedily forward many packets at once over the oracle's table.
+
+    One numpy step per hop moves every in-flight packet: packets retire
+    on arrival, dead end, revisit (loop), or after ``max_hops`` (default
+    ``2 n``, as in ``greedy_route``).  ``record_paths=True`` additionally
+    materialises the ``(q, hops+1)`` node-sequence matrix (``-1``-padded).
+    """
+    n = oracle.n
+    table = oracle.next_hop
+    hop_weight = oracle.hop_weight
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    sources, targets = np.broadcast_arrays(sources, targets)
+    sources = sources.reshape(-1).copy()
+    targets = targets.reshape(-1).copy()
+    q = len(sources)
+    if q and (
+        min(sources.min(), targets.min()) < 0
+        or max(sources.max(), targets.max()) >= n
+    ):
+        raise ValueError(f"sources/targets out of range [0, {n})")
+    if max_hops is None:
+        max_hops = 2 * n
+    max_hops = int(max_hops)
+
+    current = sources.copy()
+    lengths = np.zeros(q, dtype=np.float64)
+    hops = np.zeros(q, dtype=np.int64)
+    status = np.full(q, STATUS_BUDGET, dtype=np.int8)
+    status[current == targets] = STATUS_DELIVERED
+    visited = np.zeros((q, n), dtype=bool)
+    if q:
+        visited[np.arange(q), current] = True
+    # In-flight packets as a dense index array: every packet here has
+    # taken exactly ``step`` hops, so per-step cost is O(active), not
+    # O(q), and path reconstruction is a column scatter per step.
+    inflight = np.nonzero(status != STATUS_DELIVERED)[0]
+    step_log: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    for _ in range(max_hops):
+        if not inflight.size:
+            break
+        cur = current[inflight]
+        tgt = targets[inflight]
+        nxt = table[cur, tgt]
+        weight = hop_weight[cur, tgt]
+        # Dead end: no neighbour / missing edge — retire without a hop.
+        dead = (nxt < 0) | ~np.isfinite(weight)
+        if dead.any():
+            status[inflight[dead]] = STATUS_DEAD_END
+            alive = ~dead
+            inflight = inflight[alive]
+            nxt = nxt[alive]
+            weight = weight[alive]
+            if not inflight.size:
+                break
+        # Every surviving packet takes the hop (it appears in the path)...
+        hops[inflight] += 1
+        if record_paths:
+            step_log.append((inflight, nxt))
+        # ...but a revisit is a loop: drop the packet *before* paying the
+        # cycle-closing edge weight.
+        revisit = visited[inflight, nxt]
+        if revisit.any():
+            status[inflight[revisit]] = STATUS_LOOP
+            moving = ~revisit
+            inflight = inflight[moving]
+            nxt = nxt[moving]
+            weight = weight[moving]
+        lengths[inflight] += weight
+        visited[inflight, nxt] = True
+        current[inflight] = nxt
+        arrived = nxt == targets[inflight]
+        if arrived.any():
+            status[inflight[arrived]] = STATUS_DELIVERED
+            inflight = inflight[~arrived]
+
+    paths: Optional[np.ndarray] = None
+    if record_paths:
+        paths = np.full((q, int(hops.max(initial=0)) + 1), -1, dtype=np.int64)
+        if q:
+            paths[:, 0] = sources
+        for step, (idx, nodes) in enumerate(step_log):
+            paths[idx, step + 1] = nodes
+    return BatchRoutes(
+        sources=sources,
+        targets=targets,
+        delivered=status == STATUS_DELIVERED,
+        lengths=lengths,
+        hops=hops,
+        status=status,
+        paths=paths,
+    )
+
+
+@dataclass
+class StretchAudit:
+    """Sampled forwarding quality of an oracle, honestly accounted.
+
+    ``attempts`` counts only routable pairs (distinct, finitely-distant,
+    positive exact distance); ``skipped_self`` / ``skipped_unreachable``
+    / ``skipped_zero`` record why the rest of the sample was excluded —
+    a zero-distance exact pair would make any positive route length an
+    infinite stretch, so it is flagged rather than divided by.
+    """
+
+    samples: int
+    attempts: int
+    delivered: int
+    loops: int
+    dead_ends: int
+    budget_exhausted: int
+    skipped_self: int
+    skipped_unreachable: int
+    skipped_zero: int
+    mean_stretch: float
+    max_stretch: float
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered fraction; ``nan`` when no pair was ever attempted."""
+        if not self.attempts:
+            return float("nan")
+        return self.delivered / self.attempts
+
+
+def audit_stretch(
+    oracle: DistanceOracle,
+    exact: np.ndarray,
+    rng: np.random.Generator,
+    samples: int = 200,
+    max_hops: Optional[int] = None,
+) -> StretchAudit:
+    """Sample pairs, batch-route them, and measure delivery and stretch.
+
+    The vectorized successor of
+    :func:`repro.core.routing_tables.routing_quality`: one
+    :func:`route_batch` call instead of ``samples`` Python routing loops,
+    with the failure modes broken out per outcome.
+    """
+    n = oracle.n
+    exact = np.asarray(exact, dtype=np.float64)
+    if exact.shape != (n, n):
+        raise ValueError("exact must be (n, n)")
+    sources = rng.integers(0, n, size=samples)
+    targets = rng.integers(0, n, size=samples)
+    exact_vals = exact[sources, targets]
+    is_self = sources == targets
+    unreachable = ~np.isfinite(exact_vals) & ~is_self
+    zero = np.isfinite(exact_vals) & (exact_vals <= 0.0) & ~is_self
+    keep = ~(is_self | unreachable | zero)
+    routes = route_batch(
+        oracle, sources[keep], targets[keep], max_hops=max_hops
+    )
+    ok = routes.delivered
+    stretches = routes.lengths[ok] / exact_vals[keep][ok]
+    counts = routes.outcome_counts()
+    return StretchAudit(
+        samples=int(samples),
+        attempts=int(routes.size),
+        delivered=int(counts["delivered"]),
+        loops=int(counts["loop"]),
+        dead_ends=int(counts["dead-end"]),
+        budget_exhausted=int(counts["budget"]),
+        skipped_self=int(np.count_nonzero(is_self)),
+        skipped_unreachable=int(np.count_nonzero(unreachable)),
+        skipped_zero=int(np.count_nonzero(zero)),
+        mean_stretch=float(np.mean(stretches)) if stretches.size else float("nan"),
+        max_stretch=float(np.max(stretches)) if stretches.size else float("nan"),
+    )
+
+
+__all__ = [
+    "BatchRoutes",
+    "StretchAudit",
+    "route_batch",
+    "audit_stretch",
+    "STATUS_DELIVERED",
+    "STATUS_DEAD_END",
+    "STATUS_LOOP",
+    "STATUS_BUDGET",
+    "STATUS_NAMES",
+]

@@ -1,0 +1,301 @@
+"""The distance-oracle artifact: precompute once, answer queries forever.
+
+A :class:`DistanceOracle` packages what the query plane needs from one
+``(graph, ApspResult)`` pair:
+
+* ``estimate`` — the ``(n, n)`` approximate distance matrix,
+* ``next_hop`` — the vectorized greedy forwarding table
+  (:func:`repro.core.routing_tables.next_hop_table`),
+* ``hop_weight`` — ``w(u, next_hop[u, t])``, the edge weight each
+  forwarding step pays, gathered once at build time so batch routing
+  never touches the graph again,
+* ``meta`` — JSON-safe provenance: the graph content hash (the same key
+  :class:`repro.graphs.ExactOracleCache` uses), variant, factor, seed.
+
+Persistence reuses the compact base64 matrix codec from
+:mod:`repro.api` (``matrix_encoding="b64"``; the human-readable
+``"list"`` encoding also round-trips), so a solved instance can be
+shipped to a serving tier and reloaded bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..api import (
+    MATRIX_ENCODINGS,
+    _jsonable,
+    _matrix_from_b64,
+    _matrix_from_jsonable,
+    _matrix_to_b64,
+    _matrix_to_jsonable,
+)
+from ..core.results import Estimate
+from ..core.routing_tables import next_hop_table
+from ..graphs.distances import graph_content_hash
+from ..graphs.graph import WeightedGraph
+from ..semiring.minplus import k_smallest_in_rows
+
+#: Format tag stored in every serialized oracle payload.
+ORACLE_FORMAT = "repro.distance-oracle"
+ORACLE_VERSION = 1
+
+
+@dataclass
+class DistanceOracle:
+    """An immutable query-plane artifact built from one solved instance.
+
+    All three arrays are frozen (read-only) at construction; queries
+    return fresh arrays.  Build through :meth:`build` (or
+    ``ApspResult.oracle(graph)``) rather than the raw constructor.
+    """
+
+    estimate: np.ndarray  # (n, n) float64
+    next_hop: np.ndarray  # (n, n) int64, -1 = no neighbour
+    hop_weight: np.ndarray  # (n, n) float64, inf where next_hop == -1
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = np.asarray(self.estimate).shape[0]
+        for name in ("estimate", "next_hop", "hop_weight"):
+            array = np.asarray(getattr(self, name))
+            if array.shape != (n, n):
+                raise ValueError(
+                    f"{name} must be (n, n); got {array.shape} vs n={n}"
+                )
+            # Freeze a *view*, not the caller's array: the oracle's handles
+            # are read-only without flipping flags on data it doesn't own.
+            view = array.view()
+            view.setflags(write=False)
+            setattr(self, name, view)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        graph: WeightedGraph,
+        source: Union[Estimate, np.ndarray],
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> "DistanceOracle":
+        """Assemble the artifact from a graph and an estimate.
+
+        ``source`` is an :class:`~repro.core.results.Estimate` (including
+        :class:`~repro.api.ApspResult`) or a bare ``(n, n)`` matrix.
+        Provenance available on the source (variant, factor, seed) lands
+        in ``meta``; explicit ``meta`` entries win.
+        """
+        if isinstance(source, Estimate):
+            estimate = np.array(source.estimate, dtype=np.float64)
+        else:
+            estimate = np.array(source, dtype=np.float64)
+        n = graph.n
+        if estimate.shape != (n, n):
+            raise ValueError(
+                f"estimate must be ({n}, {n}); got {estimate.shape}"
+            )
+        table = next_hop_table(graph, estimate)
+        matrix = graph.matrix()
+        # hop_weight[u, t] = w(u, table[u, t]); the diagonal maps t -> t
+        # (weight 0), -1 entries gather a dummy column and are masked.
+        safe = np.where(table >= 0, table, 0)
+        hop_weight = np.take_along_axis(matrix, safe, axis=1)
+        hop_weight = np.where(table >= 0, hop_weight, np.inf)
+        info: Dict[str, Any] = {
+            "n": int(n),
+            "graph_hash": graph_content_hash(graph),
+            "directed": bool(graph.directed),
+        }
+        if isinstance(source, Estimate):
+            info["factor"] = float(source.factor)
+            variant = getattr(source, "variant", "")
+            if variant:
+                info["variant"] = str(variant)
+            seed = getattr(source, "seed", None)
+            if seed is not None:
+                info["seed"] = int(seed)
+        if meta:
+            info.update(meta)
+        return cls(
+            estimate=estimate,
+            next_hop=table,
+            hop_weight=hop_weight,
+            meta=_jsonable(info),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return self.estimate.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the three matrices (the store's budget unit)."""
+        return (
+            self.estimate.nbytes + self.next_hop.nbytes + self.hop_weight.nbytes
+        )
+
+    @property
+    def factor(self) -> float:
+        """Declared approximation factor (``nan`` when unknown)."""
+        return float(self.meta.get("factor", float("nan")))
+
+    def content_key(self) -> str:
+        """Digest of the artifact content — stable across save/load."""
+        digest = hashlib.sha256()
+        digest.update(f"{ORACLE_FORMAT};v{ORACLE_VERSION};n={self.n};".encode())
+        digest.update(self.estimate.tobytes())
+        digest.update(self.next_hop.tobytes())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        variant = self.meta.get("variant", "?")
+        return (
+            f"DistanceOracle(n={self.n}, variant={variant!r}, "
+            f"factor={self.factor:.3g}, {self.nbytes / 2**20:.1f} MiB)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def _check_nodes(self, nodes: np.ndarray, label: str) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.n):
+            raise ValueError(f"{label} out of range [0, {self.n})")
+        return nodes
+
+    def distance(self, source: int, target: int) -> float:
+        """Estimated distance for one pair."""
+        return float(self.query_many([source], [target])[0])
+
+    def query_many(
+        self,
+        sources: Sequence[int],
+        targets: Sequence[int],
+    ) -> np.ndarray:
+        """Estimated distances for many pairs at once.
+
+        ``sources`` and ``targets`` broadcast against each other (one
+        source against many targets works); the result is a fresh float64
+        array of the broadcast shape.
+        """
+        sources = self._check_nodes(sources, "sources")
+        targets = self._check_nodes(targets, "targets")
+        sources, targets = np.broadcast_arrays(sources, targets)
+        return self.estimate[sources, targets]
+
+    def k_nearest(
+        self,
+        k: int,
+        sources: Optional[Sequence[int]] = None,
+        include_self: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest nodes per source by estimated distance.
+
+        Rides :func:`repro.semiring.minplus.k_smallest_in_rows` (node-ID
+        tie-break, ``(-1, inf)`` padding).  ``sources=None`` answers for
+        every node.  ``include_self=False`` (default) excludes the zero
+        self-distance.
+        """
+        if sources is None:
+            row_ids = np.arange(self.n, dtype=np.int64)
+        else:
+            row_ids = self._check_nodes(sources, "sources").reshape(-1)
+        rows = np.array(self.estimate[row_ids], dtype=np.float64)
+        if not include_self:
+            rows[np.arange(len(row_ids)), row_ids] = np.inf
+        return k_smallest_in_rows(rows, k)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self, matrix_encoding: str = "b64") -> Dict[str, Any]:
+        """Serializable payload; ``"b64"`` (compact, default) or ``"list"``."""
+        if matrix_encoding not in MATRIX_ENCODINGS:
+            raise ValueError(
+                f"matrix_encoding must be one of {MATRIX_ENCODINGS}, "
+                f"got {matrix_encoding!r}"
+            )
+        if matrix_encoding == "b64":
+            estimate = _matrix_to_b64(self.estimate)
+            next_hop = _matrix_to_b64(self.next_hop, dtype="<i8")
+            hop_weight = _matrix_to_b64(self.hop_weight)
+        else:
+            estimate = _matrix_to_jsonable(self.estimate)
+            next_hop = self.next_hop.tolist()
+            hop_weight = _matrix_to_jsonable(self.hop_weight)
+        return {
+            "format": ORACLE_FORMAT,
+            "version": ORACLE_VERSION,
+            "n": self.n,
+            "meta": _jsonable(dict(self.meta)),
+            "estimate": estimate,
+            "next_hop": next_hop,
+            "hop_weight": hop_weight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DistanceOracle":
+        if data.get("format") != ORACLE_FORMAT:
+            raise ValueError(
+                f"not a distance-oracle payload: format={data.get('format')!r}"
+            )
+        version = int(data.get("version", ORACLE_VERSION))
+        if version > ORACLE_VERSION:
+            raise ValueError(
+                f"oracle payload version {version} is newer than supported "
+                f"version {ORACLE_VERSION}"
+            )
+        estimate = _decode_matrix(data["estimate"], np.float64)
+        next_hop = _decode_matrix(data["next_hop"], np.int64)
+        hop_weight = _decode_matrix(data["hop_weight"], np.float64)
+        return cls(
+            estimate=estimate,
+            next_hop=next_hop,
+            hop_weight=hop_weight,
+            meta=dict(data.get("meta") or {}),
+        )
+
+    def to_json(self, matrix_encoding: str = "b64", **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(matrix_encoding=matrix_encoding),
+                          **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DistanceOracle":
+        return cls.from_dict(json.loads(payload))
+
+    def save(self, path: str, matrix_encoding: str = "b64") -> None:
+        """Write the artifact to ``path`` as one JSON document."""
+        with open(path, "w", encoding="utf-8") as sink:
+            sink.write(self.to_json(matrix_encoding=matrix_encoding))
+
+    @classmethod
+    def load(cls, path: str) -> "DistanceOracle":
+        with open(path, "r", encoding="utf-8") as source:
+            return cls.from_json(source.read())
+
+
+def _decode_matrix(payload: Any, dtype: type) -> np.ndarray:
+    """Decode either codec into a fresh array of ``dtype``."""
+    if isinstance(payload, Mapping):
+        out = _matrix_from_b64(payload)
+    elif dtype is np.int64:
+        out = np.asarray(payload, dtype=np.int64)
+    else:
+        out = _matrix_from_jsonable(payload)
+    return np.ascontiguousarray(out, dtype=dtype)
+
+
+__all__ = ["DistanceOracle", "ORACLE_FORMAT", "ORACLE_VERSION"]

@@ -1,0 +1,190 @@
+"""LRU store of :class:`DistanceOracle` artifacts.
+
+Keyed the same way as :class:`repro.graphs.ExactOracleCache` — by the
+graph's content hash — extended with the variant label *and a digest of
+the estimate matrix*.  The exact-oracle cache can key on graph content
+alone because exact distances are seed-independent; approximate results
+are not (two seeds of a randomized variant give different estimates),
+so the estimate content is part of an oracle's identity.  Thread-safe,
+bounded by entry count *and* total bytes (the artifacts are three
+``O(n^2)`` matrices each), LRU eviction enforcing both; the same policy
+the exact-oracle cache uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+
+from ..core.results import Estimate
+from ..graphs.distances import graph_content_hash
+from ..graphs.graph import WeightedGraph
+from .oracle import DistanceOracle
+
+
+def estimate_digest(estimate: Union[Estimate, np.ndarray]) -> str:
+    """Content digest of an estimate matrix (the seed-sensitive part)."""
+    if isinstance(estimate, Estimate):
+        estimate = estimate.estimate
+    dense = np.ascontiguousarray(estimate, dtype=np.float64)
+    return hashlib.sha256(dense.tobytes()).hexdigest()
+
+
+def oracle_key(
+    graph_hash: str, variant: str = "", estimate_hash: str = ""
+) -> str:
+    """The store key for one (graph content, variant, estimate) triple.
+
+    ``estimate_hash`` is abbreviated — the graph hash already pins the
+    instance; the estimate digest only needs to separate different
+    solves of it.
+    """
+    return f"{graph_hash}:{variant}:{estimate_hash[:16]}"
+
+
+class OracleStore:
+    """Content-keyed LRU of built distance oracles.
+
+    ``get_or_build`` is the serving entry point: repeated requests for
+    the same (graph content, variant) pay the ``next_hop_table`` build
+    exactly once.  Returned oracles are immutable, so a hit can be
+    shared across threads safely.
+    """
+
+    def __init__(
+        self, max_entries: int = 16, max_bytes: int = 1024 * 2**20
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[str, DistanceOracle]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by stored oracles."""
+        return self._bytes
+
+    def key_for(
+        self,
+        graph: WeightedGraph,
+        source: Union[Estimate, np.ndarray],
+        variant: Optional[str] = None,
+    ) -> str:
+        """The key ``get_or_build`` would use for this (graph, source)."""
+        if variant is None:
+            variant = str(getattr(source, "variant", "") or "")
+        return oracle_key(
+            graph_content_hash(graph), variant, estimate_digest(source)
+        )
+
+    def peek(self, key: str) -> Optional[DistanceOracle]:
+        """The stored oracle for ``key``, or ``None`` — never builds."""
+        with self._lock:
+            oracle = self._store.get(key)
+            if oracle is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+            return oracle
+
+    def put(self, oracle: DistanceOracle, key: Optional[str] = None) -> str:
+        """Insert (or refresh) an oracle; returns the key used.
+
+        The default key is derived from the oracle's own metadata
+        (``graph_hash`` + ``variant``), which is how oracles loaded from
+        disk re-enter the store under their original identity.
+        """
+        if key is None:
+            key = oracle_key(
+                str(oracle.meta.get("graph_hash", "")),
+                str(oracle.meta.get("variant", "")),
+                estimate_digest(oracle.estimate),
+            )
+        with self._lock:
+            self._insert_locked(key, oracle)
+        return key
+
+    def get_or_build(
+        self,
+        graph: WeightedGraph,
+        source: Union[Estimate, np.ndarray],
+        variant: Optional[str] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> DistanceOracle:
+        """The oracle for ``(graph, variant)``, built at most once.
+
+        ``source`` and ``meta`` are forwarded to
+        :meth:`DistanceOracle.build` on a miss; ``variant`` defaults to
+        the source's own variant label (empty for bare matrices).  The
+        key includes a digest of the source estimate, so two solves of
+        the same graph with different seeds get *different* entries —
+        the estimate, not just the instance, is the oracle's identity.
+        """
+        if variant is None:
+            variant = str(getattr(source, "variant", "") or "")
+        key = self.key_for(graph, source, variant)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return cached
+        # Build outside the lock: concurrent misses on *different* keys
+        # must not serialise (a duplicated build of the same key merely
+        # wastes one table construction and is resolved on insert).
+        # The keying variant lands in the artifact's meta so ``put``
+        # re-derives this exact key for it (and for reloaded clones).
+        build_meta = dict(meta or {})
+        if variant:
+            build_meta.setdefault("variant", variant)
+        oracle = DistanceOracle.build(graph, source, meta=build_meta or None)
+        with self._lock:
+            existing = self._store.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self._insert_locked(key, oracle)
+        return oracle
+
+    def _insert_locked(self, key: str, oracle: DistanceOracle) -> None:
+        """Insert under the held lock and evict LRU-first to both bounds."""
+        previous = self._store.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.nbytes
+        self._store[key] = oracle
+        self._bytes += oracle.nbytes
+        # A single artifact larger than max_bytes is kept alone (evicting
+        # it immediately would just thrash on every request).
+        while len(self._store) > self.max_entries or (
+            self._bytes > self.max_bytes and len(self._store) > 1
+        ):
+            _, evicted = self._store.popitem(last=False)
+            self._bytes -= evicted.nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+
+#: Process-wide store shared by the CLI and any embedding service.
+DEFAULT_STORE = OracleStore()
+
+
+__all__ = ["OracleStore", "DEFAULT_STORE", "estimate_digest", "oracle_key"]

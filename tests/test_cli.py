@@ -124,3 +124,46 @@ class TestCommands:
         code = main(["run", "--n", "36", "--family", "grid", "--variant",
                      "small-diameter"])
         assert code == 0
+
+    def test_query_command(self, capsys):
+        code = main(["query", "--n", "36", "--seed", "3", "--variant",
+                     "small-diameter", "--queries", "5", "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random distance queries" in out
+        assert "oracle" in out
+        assert "nearest of node" in out
+
+    def test_query_command_reuses_store(self, capsys):
+        from repro.serve import DEFAULT_STORE
+
+        DEFAULT_STORE.clear()
+        args = ["query", "--n", "30", "--seed", "4", "--variant",
+                "spanner-only", "--queries", "3"]
+        assert main(args) == 0
+        misses = DEFAULT_STORE.misses
+        assert main(args) == 0  # second run hits the process-wide store
+        assert DEFAULT_STORE.misses == misses
+        assert DEFAULT_STORE.hits >= 1
+
+    def test_routes_command(self, capsys):
+        code = main(["routes", "--n", "36", "--seed", "3", "--variant",
+                     "small-diameter", "--pairs", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing" in out
+        assert "delivered" in out
+        assert "example packet" in out
+
+    def test_query_accepts_tradeoff_variant(self, capsys):
+        """Regression: variants requiring t must work via --t, not crash."""
+        code = main(["query", "--n", "30", "--variant", "tradeoff",
+                     "--t", "1", "--queries", "2"])
+        assert code == 0
+        assert "oracle" in capsys.readouterr().out
+
+    def test_query_zero_queries(self, capsys):
+        """Regression: an empty query batch must not crash the k-sample."""
+        code = main(["query", "--n", "24", "--queries", "0"])
+        assert code == 0
+        assert "nearest of node" in capsys.readouterr().out

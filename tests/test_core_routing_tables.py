@@ -9,6 +9,7 @@ from repro.core.routing_tables import (
     Route,
     greedy_route,
     next_hop_table,
+    next_hop_table_reference,
     routing_quality,
 )
 from repro.graphs import WeightedGraph, erdos_renyi, exact_apsp, grid_graph
@@ -40,6 +41,57 @@ class TestNextHopTable:
         graph = WeightedGraph(3, [(0, 1, 1)])
         with pytest.raises(ValueError):
             next_hop_table(graph, np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            next_hop_table_reference(graph, np.zeros((2, 2)))
+
+    def test_score_tie_broken_strictly_by_id(self):
+        """Regression: a heavy low-ID and a light high-ID neighbour tie.
+
+        Node 0 can forward to 1 (weight 5) or 2 (weight 1); the estimate
+        makes both scores equal (5 + 0 == 1 + 4).  The documented rule is
+        "ties strictly by ID", so node 1 must win even though the
+        adjacency's (weight, id) sort lists node 2 first — the historical
+        ``lexsort((ids, weights))`` key order picked 2.
+        """
+        graph = WeightedGraph(4, [(0, 1, 5), (0, 2, 1), (1, 3, 1), (2, 3, 1)])
+        estimate = np.zeros((4, 4))
+        estimate[1, 3] = 0.0
+        estimate[2, 3] = 4.0
+        assert next_hop_table(graph, estimate)[0, 3] == 1
+        assert next_hop_table_reference(graph, estimate)[0, 3] == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("p", [0.05, 0.2])
+    def test_vectorized_matches_reference_random(self, seed, p):
+        """Differential: the array program == the per-node reference."""
+        rng = make_rng(seed)
+        graph = erdos_renyi(40, p, rng)
+        exact = exact_apsp(graph)
+        noisy = exact * (1.0 + rng.random((40, 40)))
+        np.fill_diagonal(noisy, 0.0)
+        for estimate in (exact, noisy):
+            expected = next_hop_table_reference(graph, estimate)
+            assert np.array_equal(next_hop_table(graph, estimate), expected)
+            # tiny chunks exercise the row-chunk loop
+            assert np.array_equal(
+                next_hop_table(graph, estimate, chunk_elems=64), expected
+            )
+
+    def test_vectorized_matches_reference_directed(self):
+        rng = make_rng(9)
+        n = 24
+        u = rng.integers(0, n, size=120)
+        v = rng.integers(0, n, size=120)
+        w = rng.integers(1, 10, size=120).astype(float)
+        keep = u != v
+        graph = WeightedGraph.from_arrays(
+            n, u[keep], v[keep], w[keep], directed=True
+        )
+        estimate = exact_apsp(graph)
+        assert np.array_equal(
+            next_hop_table(graph, estimate),
+            next_hop_table_reference(graph, estimate),
+        )
 
 
 class TestGreedyRoute:
@@ -76,6 +128,22 @@ class TestGreedyRoute:
         assert not route.delivered
         assert route.hops <= 3
 
+    def test_loop_failure_excludes_cycle_closing_edge_weight(self):
+        """Regression: a revisit must not add the final edge into length.
+
+        On the 3-cycle a doctored table sends 0 -> 1 -> 0 for target 2:
+        the failed route's length is the one traversed edge (1), not 2 —
+        the packet is dropped at the revisited node, and the path still
+        records the hop that closed the cycle.
+        """
+        graph = WeightedGraph(3, [(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+        table = np.array([[0, 1, 1], [0, 1, 0], [0, 1, 2]], dtype=np.int64)
+        route = greedy_route(graph, exact_apsp(graph), 0, 2, table=table)
+        assert not route.delivered
+        assert route.path == [0, 1, 0]
+        assert route.length == pytest.approx(1.0)
+        assert route.hops == 2
+
 
 class TestRoutingQuality:
     @pytest.mark.parametrize("seed", [3, 4])
@@ -102,3 +170,26 @@ class TestRoutingQuality:
         quality = routing_quality(graph, exact, exact, rng, samples=100)
         assert quality.delivery_rate == 1.0
         assert quality.mean_stretch == pytest.approx(1.0)
+
+    def test_zero_attempts_reported_honestly(self):
+        """Regression: no attempted pair must not read as 100% delivery."""
+        graph = WeightedGraph(2, [])  # every sampled pair self/unreachable
+        exact = exact_apsp(graph)
+        quality = routing_quality(
+            graph, exact, exact, make_rng(6), samples=30
+        )
+        assert quality.attempts == 0
+        assert quality.delivered == 0
+        assert np.isnan(quality.delivery_rate)
+
+    def test_zero_distance_pairs_skipped_and_flagged(self):
+        """Regression: exact distance 0 must not become an inf stretch."""
+        graph = WeightedGraph(2, [(0, 1, 1)])
+        estimate = exact_apsp(graph)
+        zero_exact = np.zeros((2, 2))  # Theorem 2.1-style zero component
+        quality = routing_quality(
+            graph, estimate, zero_exact, make_rng(7), samples=50
+        )
+        assert quality.attempts == 0
+        assert quality.skipped_zero > 0
+        assert np.isnan(quality.delivery_rate)
