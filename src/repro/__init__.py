@@ -42,7 +42,9 @@ Package layout (see DESIGN.md):
 * :mod:`repro.core` — the paper's algorithms (Sections 4–8) + the
   variant registry,
 * :mod:`repro.serve` — the distance-oracle query plane (oracle
-  artifacts, batch greedy routing, k-nearest, stretch audits),
+  artifacts, batch greedy routing, k-nearest, stretch audits) and the
+  async serving tier on top (:class:`OracleService`: micro-batched
+  front-end, per-tenant stores, metrics),
 * :mod:`repro.analysis` — stretch profiles and experiment tables.
 """
 
@@ -93,13 +95,18 @@ from .semiring import (
 from .serve import (
     BatchRoutes,
     DistanceOracle,
+    MicroBatcher,
+    OracleService,
     OracleStore,
+    ServiceConfig,
+    ServiceMetrics,
     StretchAudit,
     audit_stretch,
+    oracle_handle,
     route_batch,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ApspResult",
@@ -111,7 +118,11 @@ __all__ = [
     "KernelSpec",
     "ArrayClique",
     "MessageBatch",
+    "MicroBatcher",
+    "OracleService",
     "OracleStore",
+    "ServiceConfig",
+    "ServiceMetrics",
     "RoundLedger",
     "SimulatedClique",
     "SolverConfig",
@@ -120,6 +131,7 @@ __all__ = [
     "WeightedGraph",
     "approximate_apsp",
     "audit_stretch",
+    "oracle_handle",
     "route_batch",
     "cached_exact_apsp",
     "graph_content_hash",

@@ -35,6 +35,12 @@ Commands
     Batch-route sampled packets over the oracle's greedy next-hop table
     and print the delivery/stretch audit plus one example path.
 
+``serve-bench``
+    Drive the async serving tier (:class:`repro.serve.OracleService`)
+    with a synthetic closed- or open-loop load and print p50/p99
+    latency and queries/sec for the single-query vs micro-batched
+    paths at each offered-load level.
+
 All commands take ``--n``, ``--family``, ``--seed`` and ``--kernel``
 (min-plus kernel override for every tropical product of the command);
 outputs are plain text tables, suitable for piping into experiment logs.
@@ -66,7 +72,16 @@ from .graphs import (
     preferential_attachment,
 )
 from .protocols import run_distributed_bellman_ford
-from .serve import DEFAULT_STORE, audit_stretch, route_batch
+from .serve import (
+    DEFAULT_STORE,
+    OracleService,
+    ServiceConfig,
+    audit_stretch,
+    oracle_handle,
+    route_batch,
+    run_closed_loop,
+    run_open_loop,
+)
 from .semiring import (
     AUTO,
     KERNEL_ENV,
@@ -251,27 +266,45 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _build_oracle(args: argparse.Namespace):
-    """Solve the workload and fetch its oracle through the shared store."""
+    """Fetch the workload's oracle through the shared store.
+
+    The store is addressed by the *request* — graph content hash,
+    variant, seed, t (:func:`repro.serve.oracle_handle`) — so a
+    repeated invocation in the same process skips the solver entirely
+    and reuses the cached artifact; the returned provenance string says
+    which path was taken.
+    """
     rng = np.random.default_rng(args.seed)
     graph = build_workload(args.family, args.n, rng)
+    handle = oracle_handle(graph, args.variant, args.seed, args.t)
+    oracle = DEFAULT_STORE.lookup(handle)
+    if oracle is not None:
+        return graph, oracle, "hit (cached oracle reused; solve skipped)"
     # ``t`` is forwarded for the tradeoff variant; the registry drops it
     # for variants that don't take it.
     solver = ApspSolver(
         SolverConfig(variant=args.variant, seed=args.seed, t=args.t)
     )
     result = solver.solve(graph)
-    oracle = DEFAULT_STORE.get_or_build(graph, result)
-    return graph, result, oracle
+    oracle = DEFAULT_STORE.get_or_build(graph, result, alias=handle)
+    return graph, oracle, "miss (workload solved, oracle built)"
+
+
+def _print_store_line(provenance: str) -> None:
+    stats = DEFAULT_STORE.stats()
+    print(f"store   : {provenance}; {stats['entries']} cached, "
+          f"{stats['hits']} hits / {stats['misses']} misses, "
+          f"{stats['builds']} builds "
+          f"({stats['build_seconds'] * 1e3:.0f} ms building)")
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    graph, result, oracle = _build_oracle(args)
+    graph, oracle, provenance = _build_oracle(args)
     exact = cached_exact_apsp(graph)
     print(f"graph   : {graph}")
     print(f"oracle  : variant={args.variant} factor={oracle.factor:.1f} "
-          f"{oracle.nbytes / 2**20:.2f} MiB "
-          f"(store key {DEFAULT_STORE.key_for(graph, result)[:16]}..., "
-          f"{len(DEFAULT_STORE)} cached)")
+          f"{oracle.nbytes / 2**20:.2f} MiB")
+    _print_store_line(provenance)
     qrng = np.random.default_rng(args.seed + 1)
     sources = qrng.integers(0, graph.n, size=args.queries)
     targets = qrng.integers(0, graph.n, size=args.queries)
@@ -299,13 +332,14 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_routes(args: argparse.Namespace) -> int:
-    graph, result, oracle = _build_oracle(args)
+    graph, oracle, provenance = _build_oracle(args)
     exact = cached_exact_apsp(graph)
     audit = audit_stretch(
         oracle, exact, np.random.default_rng(args.seed + 1), samples=args.pairs
     )
     print(f"graph   : {graph}")
     print(f"oracle  : variant={args.variant} factor={oracle.factor:.1f}")
+    _print_store_line(provenance)
     print(f"sampled : {audit.samples} pairs -> {audit.attempts} attempted "
           f"({audit.skipped_self} self, {audit.skipped_unreachable} "
           f"unreachable, {audit.skipped_zero} zero-distance)")
@@ -328,6 +362,95 @@ def cmd_routes(args: argparse.Namespace) -> int:
         if routes.delivered[0]:
             print(f"  length {routes.lengths[0]:.0f} vs optimal "
                   f"{exact[s, t]:.0f} ({routes.lengths[0] / exact[s, t]:.2f}x)")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    rng = np.random.default_rng(args.seed)
+    graph = build_workload(args.family, args.n, rng)
+    levels = [int(v) for v in str(args.levels).split(",") if v.strip()]
+    if not levels:
+        raise ValueError("--levels must name at least one offered-load level")
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_workers=args.workers,
+    )
+    with OracleService(config) as service:
+        start = time.perf_counter()
+        handle = service.warm(
+            graph, variant=args.variant, seed=args.seed, t=args.t
+        )
+        warm_seconds = time.perf_counter() - start
+        qrng = np.random.default_rng(args.seed + 1)
+        sources = qrng.integers(0, graph.n, size=4096)
+        targets = qrng.integers(0, graph.n, size=4096)
+
+        def request_factory(batched: bool):
+            endpoint = getattr(service, args.endpoint)
+
+            async def request(i: int):
+                s = int(sources[i % 4096])
+                t = int(targets[i % 4096])
+                if args.endpoint == "k_nearest":
+                    return await service.k_nearest(
+                        handle, s, args.k, batched=batched
+                    )
+                return await endpoint(handle, s, t, batched=batched)
+
+            return request
+
+        rows = []
+        for level in levels:
+            for batched in (False, True):
+                request = request_factory(batched)
+                if args.mode == "open":
+                    report = asyncio.run(
+                        run_open_loop(request, args.requests, float(level))
+                    )
+                else:
+                    report = asyncio.run(
+                        run_closed_loop(request, args.requests, level)
+                    )
+                snap = report.snapshot()
+                rows.append(
+                    (
+                        level,
+                        "batched" if batched else "single",
+                        f"{report.qps:.0f}",
+                        f"{(snap['latency']['p50'] or 0) * 1e3:.2f}",
+                        f"{(snap['latency']['p99'] or 0) * 1e3:.2f}",
+                        report.errors,
+                    )
+                )
+        print(f"graph   : {graph}")
+        print(f"service : warm {warm_seconds * 1e3:.0f} ms, "
+              f"max_batch={config.max_batch}, "
+              f"max_delay={config.max_delay_ms:.1f} ms, "
+              f"{config.max_workers} workers")
+        offered = "clients" if args.mode == "closed" else "req/s"
+        print()
+        print(format_table(
+            [offered, "path", "qps", "p50 ms", "p99 ms", "errors"],
+            rows,
+            title=f"serve-bench: {args.endpoint} endpoint, "
+            f"{args.mode}-loop x {args.requests} requests",
+        ))
+        snapshot = service.snapshot()
+        assert snapshot == json.loads(json.dumps(snapshot, allow_nan=False))
+        store = snapshot["tenants"]["default"]
+        batching = snapshot["metrics"]["batching"].get(args.endpoint, {})
+        print(f"\nstore   : {store['hits']} hits / {store['misses']} misses, "
+              f"{store['builds']} builds "
+              f"({store['build_seconds'] * 1e3:.0f} ms), "
+              f"{store['evictions']} evictions")
+        print(f"batches : {batching.get('batches', 0)} flushed, "
+              f"mean size {batching.get('mean_batch') or 0:.1f}, "
+              f"max {batching.get('max_batch', 0)} "
+              f"(snapshot JSON round-trip OK)")
     return 0
 
 
@@ -443,6 +566,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--pairs", type=int, default=256, help="sampled source/target pairs"
     )
     routes_parser.set_defaults(handler=cmd_routes)
+
+    serve_parser = subparsers.add_parser(
+        "serve-bench",
+        help="drive the async serving tier with a synthetic load",
+    )
+    _common_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--variant",
+        choices=variant_names(),
+        default="theorem11",
+    )
+    serve_parser.add_argument(
+        "--t", type=int, default=2, help="tradeoff parameter"
+    )
+    serve_parser.add_argument(
+        "--endpoint",
+        choices=("distance", "route", "k_nearest"),
+        default="distance",
+        help="which service endpoint the load exercises",
+    )
+    serve_parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed loop (levels = concurrent clients) or open loop "
+        "(levels = offered requests/sec)",
+    )
+    serve_parser.add_argument(
+        "--levels",
+        default="4,16,64",
+        help="comma-separated offered-load levels",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=400, help="requests per level/path"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batch size bound"
+    )
+    serve_parser.add_argument(
+        "--max-delay-ms", type=float, default=2.0, help="flush deadline"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="thread-pool workers"
+    )
+    serve_parser.add_argument(
+        "--k", type=int, default=5, help="k for the k_nearest endpoint"
+    )
+    serve_parser.set_defaults(handler=cmd_serve_bench)
 
     return parser
 

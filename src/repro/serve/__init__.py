@@ -15,7 +15,12 @@ side the paper's routing motivation actually exercises:
 * :func:`audit_stretch` — vectorized delivery/stretch sampling that
   subsumes :func:`repro.core.routing_tables.routing_quality`;
 * ``DistanceOracle.query_many`` / ``DistanceOracle.k_nearest`` — bulk
-  distance and nearest-neighbour queries.
+  distance and nearest-neighbour queries;
+* :class:`OracleService` — the async serving tier on top: per-tenant
+  stores, graph-hash-addressed warm-up, a :class:`MicroBatcher` per
+  ``(tenant, oracle, endpoint)`` coalescing awaited point queries into
+  the vectorized calls above, and a :class:`ServiceMetrics` plane with
+  streaming latency quantiles (see :mod:`repro.serve.service`).
 
 Typical use::
 
@@ -24,8 +29,17 @@ Typical use::
     dists = oracle.query_many(sources, targets)
     routes = route_batch(oracle, sources, targets, record_paths=True)
     oracle.save("oracle.json")               # b64-compact, bit-exact reload
+
+Serving tier::
+
+    with OracleService() as service:
+        handle = service.warm(graph, variant="theorem11", seed=0)
+        async def query():
+            return await service.distance(handle, 0, 9)
+        print(asyncio.run(query()), service.snapshot()["metrics"])
 """
 
+from .batching import BatcherStats, MicroBatcher
 from .engine import (
     STATUS_BUDGET,
     STATUS_DEAD_END,
@@ -37,16 +51,36 @@ from .engine import (
     audit_stretch,
     route_batch,
 )
+from .metrics import LatencyReservoir, ServiceMetrics
 from .oracle import ORACLE_FORMAT, ORACLE_VERSION, DistanceOracle
+from .service import (
+    ENDPOINTS,
+    AdmissionError,
+    LoadReport,
+    OracleService,
+    ServiceConfig,
+    oracle_handle,
+    run_closed_loop,
+    run_open_loop,
+)
 from .store import DEFAULT_STORE, OracleStore, estimate_digest, oracle_key
 
 __all__ = [
+    "AdmissionError",
+    "BatcherStats",
     "BatchRoutes",
     "DEFAULT_STORE",
     "DistanceOracle",
+    "ENDPOINTS",
+    "LatencyReservoir",
+    "LoadReport",
+    "MicroBatcher",
     "ORACLE_FORMAT",
     "ORACLE_VERSION",
+    "OracleService",
     "OracleStore",
+    "ServiceConfig",
+    "ServiceMetrics",
     "StretchAudit",
     "STATUS_BUDGET",
     "STATUS_DEAD_END",
@@ -55,6 +89,9 @@ __all__ = [
     "STATUS_NAMES",
     "audit_stretch",
     "estimate_digest",
+    "oracle_handle",
     "oracle_key",
     "route_batch",
+    "run_closed_loop",
+    "run_open_loop",
 ]

@@ -1,0 +1,190 @@
+"""Micro-batching: coalesce concurrent point queries into array calls.
+
+The query plane (PR 5) made *batches* cheap — ``query_many`` is one
+gather, ``route_batch`` one numpy step per hop for every in-flight
+packet — but a serving front-end receives point queries one ``await``
+at a time.  :class:`MicroBatcher` closes that gap: requests that arrive
+within a flush window ride the same vectorized call.
+
+A batch flushes when either bound trips:
+
+* **size** — the pending list reaches ``max_batch`` (flush now; the
+  deadline timer is cancelled), or
+* **deadline** — ``max_delay_ms`` elapsed since the *first* pending
+  request (bounded worst-case latency: a lone request waits at most one
+  window).
+
+The flush function receives the pending payloads as one list, runs on
+the executor (numpy work must not block the event loop), and must
+return one result per payload, in order; results resolve the per-request
+futures.  An exception fails every request in that batch — item ``i``'s
+result never silently becomes item ``j``'s.
+
+Single event loop: a batcher instance serves one running loop at a time
+(futures and timers belong to the submitting loop).  Sequential
+``asyncio.run`` blocks are fine — each run drains its own submissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+FlushFn = Callable[[List[Any]], Sequence[Any]]
+
+
+@dataclass
+class BatcherStats:
+    """Counters for one :class:`MicroBatcher` (JSON-safe via snapshot)."""
+
+    submitted: int = 0
+    completed: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    drain_flushes: int = 0
+    errors: int = 0
+    max_batch_seen: int = 0
+
+    @property
+    def mean_batch(self) -> Optional[float]:
+        """Mean flushed batch size; ``None`` before the first flush."""
+        if not self.flushes:
+            return None
+        return self.completed / self.flushes
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "flushes": self.flushes,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "drain_flushes": self.drain_flushes,
+            "errors": self.errors,
+            "max_batch_seen": self.max_batch_seen,
+            "mean_batch": self.mean_batch,
+        }
+
+
+@dataclass
+class _Pending:
+    """One coalesced request: its payload and the future to resolve."""
+
+    payload: Any
+    future: "asyncio.Future[Any]" = field(repr=False)
+
+
+class MicroBatcher:
+    """Coalesce awaited point requests into vectorized flush calls.
+
+    ``flush`` maps a list of payloads to an equal-length sequence of
+    results.  ``executor=None`` uses the loop's default thread pool.
+    """
+
+    def __init__(
+        self,
+        flush: FlushFn,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        executor: Optional[Any] = None,
+        on_flush: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self._flush = flush
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self._executor = executor
+        self._on_flush = on_flush
+        self._pending: List[_Pending] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._inflight: Set["asyncio.Task[None]"] = set()
+        self.stats = BatcherStats()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting for a flush."""
+        return len(self._pending)
+
+    async def submit(self, payload: Any) -> Any:
+        """Enqueue one payload; resolves with its flush result."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._pending.append(_Pending(payload, future))
+        self.stats.submitted += 1
+        if len(self._pending) >= self.max_batch:
+            self._launch(loop, "size")
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_delay_ms / 1000.0, self._deadline, loop
+            )
+        return await future
+
+    def _deadline(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._timer = None
+        if self._pending:
+            self._launch(loop, "deadline")
+
+    def _launch(self, loop: asyncio.AbstractEventLoop, reason: str) -> None:
+        """Detach the pending list and start one flush task over it."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        self.stats.flushes += 1
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "deadline":
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.drain_flushes += 1
+        if len(batch) > self.stats.max_batch_seen:
+            self.stats.max_batch_seen = len(batch)
+        task = loop.create_task(self._run(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run(self, batch: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        payloads = [item.payload for item in batch]
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._flush, payloads
+            )
+            if len(results) != len(payloads):
+                raise RuntimeError(
+                    f"flush returned {len(results)} results for "
+                    f"{len(payloads)} payloads"
+                )
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            self.stats.errors += 1
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        # Bookkeeping before resolving: once results land, the awaiting
+        # coroutines may finish the event loop with this task mid-body.
+        self.stats.completed += len(batch)
+        if self._on_flush is not None:
+            self._on_flush(len(batch))
+        for item, result in zip(batch, results):
+            if not item.future.done():
+                item.future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush anything pending and wait for every in-flight batch."""
+        loop = asyncio.get_running_loop()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._pending:
+            self._launch(loop, "drain")
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+
+
+__all__ = ["BatcherStats", "MicroBatcher", "FlushFn"]

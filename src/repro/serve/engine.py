@@ -82,6 +82,32 @@ class BatchRoutes:
             for code, name in STATUS_NAMES.items()
         }
 
+    def to_records(self) -> List[dict]:
+        """Per-query JSON-safe records (the serving tier's wire shape).
+
+        Plain ``int``/``float``/``bool``/``str`` fields only, so a
+        record drops straight into a metrics snapshot or a service
+        response without further conversion.
+        """
+        return [
+            {
+                "source": int(s),
+                "target": int(t),
+                "delivered": bool(d),
+                "length": float(length),
+                "hops": int(h),
+                "status": STATUS_NAMES[int(code)],
+            }
+            for s, t, d, length, h, code in zip(
+                self.sources,
+                self.targets,
+                self.delivered,
+                self.lengths,
+                self.hops,
+                self.status,
+            )
+        ]
+
 
 def route_batch(
     oracle: DistanceOracle,

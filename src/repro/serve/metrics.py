@@ -1,0 +1,203 @@
+"""The service metrics plane: counters + streaming latency quantiles.
+
+Serving "millions of users" is only credible if the tier can say what
+it is doing, so every :class:`~repro.serve.service.OracleService`
+carries a :class:`ServiceMetrics`:
+
+* **per-endpoint counters** — requests / errors split by the batched
+  and single-query paths, batches flushed, items per batch;
+* **latency reservoirs** — a fixed-capacity streaming reservoir sample
+  (Vitter's algorithm R) per ``endpoint/path`` stream, answering
+  p50/p95/p99 over the *whole* request history in O(capacity) memory;
+* **store accounting** — the per-tenant
+  :meth:`~repro.serve.store.OracleStore.stats` snapshots (hits, misses,
+  evictions, builds, build seconds) are folded into the same snapshot
+  by the service.
+
+Everything is thread-safe and :meth:`ServiceMetrics.snapshot` is
+JSON-safe by construction (no numpy scalars, no ``NaN`` — empty
+streams report ``None``), so a snapshot survives
+``json.loads(json.dumps(...))`` bit-for-bit; the CI smoke run asserts
+exactly that round-trip.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Dict, List, Optional
+
+#: Quantiles every latency snapshot reports, as (label, q) pairs.
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def quantile(ordered: List[float], q: float) -> Optional[float]:
+    """Linear-interpolated quantile of an already-sorted list.
+
+    ``None`` for an empty list — the JSON-safe stand-in for "no data"
+    (a ``NaN`` would not survive a strict JSON round-trip).
+    """
+    if not ordered:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class LatencyReservoir:
+    """Streaming reservoir sample of latencies (Vitter's algorithm R).
+
+    Holds at most ``capacity`` samples; after the reservoir fills, each
+    new observation replaces a uniformly random slot with probability
+    ``capacity / count``, so the retained set is a uniform sample of
+    everything ever recorded.  The replacement RNG is seeded, keeping a
+    single-threaded run reproducible.  Not thread-safe on its own —
+    :class:`ServiceMetrics` serialises access.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max_value:
+            self.max_value = seconds
+        if len(self._samples) < self.capacity:
+            self._samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Linear-interpolated quantile of the sample; ``None`` if empty."""
+        return quantile(sorted(self._samples), q)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe summary: count/mean/max plus the standard quantiles."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else None,
+            "max": self.max_value if self.count else None,
+        }
+        for label, q in SNAPSHOT_QUANTILES:
+            out[label] = self.quantile(q)
+        return out
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency streams for one serving tier.
+
+    Streams are keyed ``f"{endpoint}/{path}"`` (path is ``"batched"``
+    or ``"single"``) so the two serving paths stay comparable side by
+    side — the contrast ``benchmarks/bench_serve.py`` measures.
+    """
+
+    def __init__(self, reservoir_capacity: int = 4096, seed: int = 0) -> None:
+        self.reservoir_capacity = int(reservoir_capacity)
+        self._seed = int(seed)
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._batches: Dict[str, int] = {}
+        self._batched_items: Dict[str, int] = {}
+        self._max_batch: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyReservoir] = {}
+        self._counters: Dict[str, int] = {}
+
+    def _stream(self, stream: str) -> LatencyReservoir:
+        reservoir = self._latency.get(stream)
+        if reservoir is None:
+            # Derive a distinct, stable seed per stream name.
+            offset = sum(stream.encode())
+            reservoir = LatencyReservoir(
+                self.reservoir_capacity, seed=self._seed + offset
+            )
+            self._latency[stream] = reservoir
+        return reservoir
+
+    def record_request(
+        self,
+        endpoint: str,
+        seconds: float,
+        batched: bool = True,
+        error: bool = False,
+    ) -> None:
+        """One completed (or failed) request on ``endpoint``."""
+        stream = f"{endpoint}/{'batched' if batched else 'single'}"
+        with self._lock:
+            self._requests[stream] = self._requests.get(stream, 0) + 1
+            if error:
+                self._errors[stream] = self._errors.get(stream, 0) + 1
+            else:
+                self._stream(stream).record(seconds)
+
+    def record_batch(self, endpoint: str, size: int) -> None:
+        """One flushed micro-batch of ``size`` coalesced requests."""
+        with self._lock:
+            self._batches[endpoint] = self._batches.get(endpoint, 0) + 1
+            self._batched_items[endpoint] = (
+                self._batched_items.get(endpoint, 0) + int(size)
+            )
+            if size > self._max_batch.get(endpoint, 0):
+                self._max_batch[endpoint] = int(size)
+
+    def bump(self, counter: str, amount: int = 1) -> int:
+        """Increment a free-form service counter (admissions, warms...)."""
+        with self._lock:
+            value = self._counters.get(counter, 0) + int(amount)
+            self._counters[counter] = value
+            return value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of every counter and latency stream."""
+        with self._lock:
+            streams = sorted(
+                set(self._requests) | set(self._errors) | set(self._latency)
+            )
+            endpoints: Dict[str, Any] = {}
+            for stream in streams:
+                endpoints[stream] = {
+                    "requests": self._requests.get(stream, 0),
+                    "errors": self._errors.get(stream, 0),
+                    "latency": self._stream(stream).snapshot(),
+                }
+            batching = {
+                endpoint: {
+                    "batches": self._batches.get(endpoint, 0),
+                    "items": self._batched_items.get(endpoint, 0),
+                    "max_batch": self._max_batch.get(endpoint, 0),
+                    "mean_batch": (
+                        self._batched_items[endpoint] / self._batches[endpoint]
+                        if self._batches.get(endpoint)
+                        else None
+                    ),
+                }
+                for endpoint in sorted(self._batches)
+            }
+            return {
+                "endpoints": endpoints,
+                "batching": batching,
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+
+__all__ = [
+    "LatencyReservoir",
+    "ServiceMetrics",
+    "SNAPSHOT_QUANTILES",
+    "quantile",
+]

@@ -150,6 +150,17 @@ class DistanceOracle:
         """Declared approximation factor (``nan`` when unknown)."""
         return float(self.meta.get("factor", float("nan")))
 
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe one-line summary (what a serving tier logs/exposes)."""
+        return {
+            "n": self.n,
+            "variant": str(self.meta.get("variant", "")),
+            "seed": self.meta.get("seed"),
+            "factor": self.factor if np.isfinite(self.factor) else None,
+            "graph_hash": str(self.meta.get("graph_hash", "")),
+            "nbytes": int(self.nbytes),
+        }
+
     def content_key(self) -> str:
         """Digest of the artifact content — stable across save/load."""
         digest = hashlib.sha256()

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -66,7 +67,16 @@ class OracleStore:
         self.max_bytes = int(max_bytes)
         self.hits = 0
         self.misses = 0
+        self.builds = 0
+        self.build_seconds = 0.0
+        self.evictions = 0
         self._store: "OrderedDict[str, DistanceOracle]" = OrderedDict()
+        # Friendly names (e.g. ``graph_hash:variant:seed``) -> store key,
+        # so a caller who has not re-run the solver can still find the
+        # oracle a previous solve produced.  Pruned with their entries.
+        self._aliases: Dict[str, str] = {}
+        # Single-flight state: key -> event set when its build finishes.
+        self._building: Dict[str, threading.Event] = {}
         self._bytes = 0
         self._lock = threading.Lock()
 
@@ -117,12 +127,37 @@ class OracleStore:
             self._insert_locked(key, oracle)
         return key
 
+    def lookup(self, alias: str) -> Optional[DistanceOracle]:
+        """Resolve a registered alias; ``None`` if unknown or evicted.
+
+        A hit counts and LRU-touches like :meth:`peek`; absence is
+        uncharged (``misses`` keeps meaning "a build was required").
+        This is how a caller that did not re-run the solver — a fresh
+        CLI invocation, a service front-end holding only a handle —
+        finds the oracle a previous solve produced.
+        """
+        with self._lock:
+            key = self._aliases.get(alias)
+            oracle = self._store.get(key) if key is not None else None
+            if oracle is None:
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return oracle
+
+    def register_alias(self, alias: str, key: str) -> None:
+        """Point ``alias`` at an existing store key (no-op if absent)."""
+        with self._lock:
+            if key in self._store:
+                self._aliases[str(alias)] = key
+
     def get_or_build(
         self,
         graph: WeightedGraph,
         source: Union[Estimate, np.ndarray],
         variant: Optional[str] = None,
         meta: Optional[Mapping[str, Any]] = None,
+        alias: Optional[str] = None,
     ) -> DistanceOracle:
         """The oracle for ``(graph, variant)``, built at most once.
 
@@ -132,33 +167,77 @@ class OracleStore:
         key includes a digest of the source estimate, so two solves of
         the same graph with different seeds get *different* entries —
         the estimate, not just the instance, is the oracle's identity.
+
+        Builds are **single-flight**: concurrent misses on the same key
+        block until the one in-flight build finishes and then share its
+        artifact (waiters count as hits; exactly one ``builds`` tick and
+        one ``misses`` tick per actual build).  Misses on *different*
+        keys still build in parallel.  ``alias`` (optional) registers a
+        friendly name for the entry, resolvable later via
+        :meth:`lookup` without re-solving.
         """
         if variant is None:
             variant = str(getattr(source, "variant", "") or "")
         key = self.key_for(graph, source, variant)
-        with self._lock:
-            cached = self._store.get(key)
-            if cached is not None:
-                self._store.move_to_end(key)
-                self.hits += 1
-                return cached
+        while True:
+            with self._lock:
+                cached = self._store.get(key)
+                if cached is not None:
+                    self._store.move_to_end(key)
+                    self.hits += 1
+                    if alias is not None:
+                        self._aliases[str(alias)] = key
+                    return cached
+                waiter = self._building.get(key)
+                if waiter is None:
+                    done = threading.Event()
+                    self._building[key] = done
+                    break
+            # Another thread is building this exact key: wait for it and
+            # re-check (the loop also covers the builder having failed —
+            # the next thread through simply becomes the new builder).
+            waiter.wait()
         # Build outside the lock: concurrent misses on *different* keys
-        # must not serialise (a duplicated build of the same key merely
-        # wastes one table construction and is resolved on insert).
-        # The keying variant lands in the artifact's meta so ``put``
-        # re-derives this exact key for it (and for reloaded clones).
-        build_meta = dict(meta or {})
-        if variant:
-            build_meta.setdefault("variant", variant)
-        oracle = DistanceOracle.build(graph, source, meta=build_meta or None)
-        with self._lock:
-            existing = self._store.get(key)
-            if existing is not None:
-                self.hits += 1
-                return existing
-            self.misses += 1
-            self._insert_locked(key, oracle)
+        # must not serialise.  The keying variant lands in the artifact's
+        # meta so ``put`` re-derives this exact key for it (and for
+        # reloaded clones).
+        try:
+            build_meta = dict(meta or {})
+            if variant:
+                build_meta.setdefault("variant", variant)
+            start = time.perf_counter()
+            oracle = DistanceOracle.build(
+                graph, source, meta=build_meta or None
+            )
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.misses += 1
+                self.builds += 1
+                self.build_seconds += elapsed
+                self._insert_locked(key, oracle)
+                if alias is not None:
+                    self._aliases[str(alias)] = key
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            done.set()
         return oracle
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe counter snapshot (the service metrics plane's view)."""
+        with self._lock:
+            return {
+                "entries": len(self._store),
+                "bytes": int(self._bytes),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "build_seconds": float(self.build_seconds),
+                "evictions": self.evictions,
+                "aliases": len(self._aliases),
+            }
 
     def _insert_locked(self, key: str, oracle: DistanceOracle) -> None:
         """Insert under the held lock and evict LRU-first to both bounds."""
@@ -172,15 +251,23 @@ class OracleStore:
         while len(self._store) > self.max_entries or (
             self._bytes > self.max_bytes and len(self._store) > 1
         ):
-            _, evicted = self._store.popitem(last=False)
+            evicted_key, evicted = self._store.popitem(last=False)
             self._bytes -= evicted.nbytes
+            self.evictions += 1
+            self._aliases = {
+                a: k for a, k in self._aliases.items() if k != evicted_key
+            }
 
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
+            self._aliases.clear()
             self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.builds = 0
+            self.build_seconds = 0.0
+            self.evictions = 0
 
 
 #: Process-wide store shared by the CLI and any embedding service.

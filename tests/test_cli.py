@@ -141,10 +141,55 @@ class TestCommands:
         args = ["query", "--n", "30", "--seed", "4", "--variant",
                 "spanner-only", "--queries", "3"]
         assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "store   : miss (workload solved, oracle built)" in out
         misses = DEFAULT_STORE.misses
         assert main(args) == 0  # second run hits the process-wide store
+        out = capsys.readouterr().out
+        assert "store   : hit (cached oracle reused; solve skipped)" in out
         assert DEFAULT_STORE.misses == misses
         assert DEFAULT_STORE.hits >= 1
+        assert DEFAULT_STORE.builds == 1
+
+    def test_query_store_hit_truly_skips_solver(self, capsys, monkeypatch):
+        """On a store hit the solver never runs — not just the build."""
+        from repro import cli
+        from repro.serve import DEFAULT_STORE
+
+        DEFAULT_STORE.clear()
+        args = ["query", "--n", "28", "--seed", "6", "--variant",
+                "spanner-only", "--queries", "2"]
+        assert main(args) == 0
+        capsys.readouterr()
+
+        class ExplodingSolver:
+            def __init__(self, *a, **k):
+                raise AssertionError("solver should not be constructed on a hit")
+
+        monkeypatch.setattr(cli, "ApspSolver", ExplodingSolver)
+        assert main(args) == 0
+        assert "solve skipped" in capsys.readouterr().out
+
+    def test_routes_command_prints_provenance(self, capsys):
+        from repro.serve import DEFAULT_STORE
+
+        DEFAULT_STORE.clear()
+        code = main(["routes", "--n", "30", "--seed", "8", "--variant",
+                     "spanner-only", "--pairs", "40"])
+        assert code == 0
+        assert "store   : miss" in capsys.readouterr().out
+
+    def test_query_and_routes_share_one_oracle(self, capsys):
+        """The two commands address the store identically (same handle)."""
+        from repro.serve import DEFAULT_STORE
+
+        DEFAULT_STORE.clear()
+        common = ["--n", "30", "--seed", "9", "--variant", "spanner-only"]
+        assert main(["query", *common, "--queries", "2"]) == 0
+        assert main(["routes", *common, "--pairs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "store   : hit" in out
+        assert DEFAULT_STORE.builds == 1
 
     def test_routes_command(self, capsys):
         code = main(["routes", "--n", "36", "--seed", "3", "--variant",
@@ -167,3 +212,35 @@ class TestCommands:
         code = main(["query", "--n", "24", "--queries", "0"])
         assert code == 0
         assert "nearest of node" in capsys.readouterr().out
+
+    def test_serve_bench_closed_loop(self, capsys):
+        code = main(["serve-bench", "--n", "32", "--variant", "spanner-only",
+                     "--levels", "2,4", "--requests", "40",
+                     "--max-batch", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: distance endpoint" in out
+        assert "single" in out and "batched" in out
+        assert "snapshot JSON round-trip OK" in out
+        assert "builds" in out
+
+    def test_serve_bench_open_loop_route(self, capsys):
+        code = main(["serve-bench", "--n", "32", "--variant", "spanner-only",
+                     "--mode", "open", "--endpoint", "route",
+                     "--levels", "500", "--requests", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop" in out
+        assert "req/s" in out
+
+    def test_serve_bench_k_nearest(self, capsys):
+        code = main(["serve-bench", "--n", "32", "--variant", "spanner-only",
+                     "--endpoint", "k_nearest", "--levels", "4",
+                     "--requests", "20", "--k", "3"])
+        assert code == 0
+        assert "k_nearest endpoint" in capsys.readouterr().out
+
+    def test_serve_bench_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            main(["serve-bench", "--n", "24", "--levels", ",",
+                  "--variant", "spanner-only"])
