@@ -1,0 +1,166 @@
+"""E22 — chaos harness: delivery/stretch/recovery curves under faults.
+
+Sweeps the ``route-drop`` scenario across per-link drop probabilities
+and pins the ``route-crash`` scenario per size, recording for each
+point the delivery rate *without* recovery, the delivery rate with the
+bounded-retry loop, the recovery gain, and the extra rounds the
+recovery cost (see :mod:`repro.chaos`).  Claims asserted:
+
+* **zero-fault sanity** — at ``drop=0.0`` both arms deliver perfectly
+  and the recovery loop never fires (the CI smoke gate);
+* **recovery works** — at the highest drop rate the bounded-retry arm
+  strictly beats the no-recovery arm, and crash replanning delivers
+  everything whose endpoints survived.
+
+Results land in ``BENCH_chaos.json`` at the repo root.  Smoke mode
+(``REPRO_BENCH_SMOKE=1``) shrinks sizes and the sweep; the assertions
+are identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import emit, format_table
+from repro.chaos import run_scenario
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+SIZES = (32,) if SMOKE else (128, 256)
+DROPS = (0.0, 0.1) if SMOKE else (0.0, 0.02, 0.05, 0.1)
+SEED = 0
+RETRIES = 4
+JSON_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_chaos.json")
+)
+
+
+def measure() -> Dict:
+    drop_curves: List[Dict] = []
+    for n in SIZES:
+        for drop in DROPS:
+            report = run_scenario(
+                "route-drop", n=n, seed=SEED, drop=drop, retries=RETRIES
+            )
+            drop_curves.append(
+                {
+                    "n": n,
+                    "drop": drop,
+                    "delivery_no_recovery": report.score[
+                        "delivery_no_recovery"
+                    ],
+                    "delivery_recovered": report.score["delivery_rate"],
+                    "recovery_gain": report.score["recovery_gain"],
+                    "rounds_to_recovery": report.score["rounds_to_recovery"],
+                    "retries_used": report.score["retries_used"],
+                    "perfect": report.score["perfect"],
+                }
+            )
+    crash_points: List[Dict] = []
+    for n in SIZES:
+        report = run_scenario("route-crash", n=n, seed=SEED)
+        crash_points.append(
+            {
+                "n": n,
+                "crashed_node": report.score["crashed_node"],
+                "delivery_no_recovery": report.score["delivery_no_recovery"],
+                "delivery_recovered": report.score["delivery_rate"],
+                "recovery_gain": report.score["recovery_gain"],
+                "deliverable_rate": report.score["deliverable_rate"],
+            }
+        )
+    return {"drop_curves": drop_curves, "crash_points": crash_points}
+
+
+@pytest.fixture(scope="module")
+def chaos_records() -> Dict:
+    return measure()
+
+
+def test_zero_fault_scenario_is_perfect(chaos_records):
+    """CI smoke gate: no faults => perfect delivery, no retries."""
+    for point in chaos_records["drop_curves"]:
+        if point["drop"] == 0.0:
+            assert point["delivery_no_recovery"] == 1.0
+            assert point["delivery_recovered"] == 1.0
+            assert point["recovery_gain"] == 0.0
+            assert point["retries_used"] == 0
+            assert point["perfect"] is True
+
+
+def test_recovery_strictly_improves_under_faults(chaos_records):
+    """At the highest drop rate the retry loop must strictly help."""
+    worst = max(DROPS)
+    for point in chaos_records["drop_curves"]:
+        if point["drop"] == worst:
+            assert point["delivery_no_recovery"] < 1.0
+            assert (
+                point["delivery_recovered"] > point["delivery_no_recovery"]
+            )
+    for point in chaos_records["crash_points"]:
+        assert point["recovery_gain"] > 0.0
+        assert point["deliverable_rate"] == 1.0
+
+
+def test_chaos_curves(chaos_records, results_sink, benchmark):
+    """E22: emit the delivery/recovery table and BENCH_chaos.json."""
+    rows = []
+    for p in chaos_records["drop_curves"]:
+        rows.append(
+            (
+                p["n"],
+                f"{p['drop']:.2f}",
+                f"{p['delivery_no_recovery']:.3f}",
+                f"{p['delivery_recovered']:.3f}",
+                f"{p['recovery_gain']:+.3f}",
+                p["rounds_to_recovery"],
+                p["retries_used"],
+            )
+        )
+    for p in chaos_records["crash_points"]:
+        rows.append(
+            (
+                p["n"],
+                "crash",
+                f"{p['delivery_no_recovery']:.3f}",
+                f"{p['delivery_recovered']:.3f}",
+                f"{p['recovery_gain']:+.3f}",
+                "-",
+                "-",
+            )
+        )
+    table = format_table(
+        ["n", "fault", "no-recovery", "recovered", "gain",
+         "extra rounds", "retries"],
+        rows,
+        title="E22 — chaos harness: delivery under drops/crashes, with and "
+        "without bounded-retry recovery (claim: zero-fault perfect, "
+        "recovery strictly improves delivery)",
+    )
+    emit(table, sink_path=results_sink)
+
+    payload = {
+        "experiment": "E22-chaos",
+        "sizes": list(SIZES),
+        "drops": list(DROPS),
+        "seed": SEED,
+        "retries": RETRIES,
+        "smoke": SMOKE,
+        "drop_curves": chaos_records["drop_curves"],
+        "crash_points": chaos_records["crash_points"],
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=2)
+    assert payload == json.loads(json.dumps(payload, allow_nan=False))
+
+    benchmark.pedantic(
+        lambda: run_scenario(
+            "route-drop", n=SIZES[0], seed=SEED, drop=max(DROPS),
+            retries=RETRIES,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -14,6 +14,9 @@ Three layers (see DESIGN.md, sections 2 and 8):
 
 :mod:`repro.cclique.reference` preserves the original object-plane
 simulator as the differential-testing target for the array engine.
+:mod:`repro.cclique.faults` injects seeded crash/drop/delay/degrade/
+corrupt faults as vectorized masks inside the engine's round loop — the
+substrate of the chaos harness (:mod:`repro.chaos`).
 """
 
 from .accounting import LedgerEntry, RoundLedger
@@ -26,6 +29,17 @@ from .errors import (
     LoadPreconditionError,
     MessageTooLargeError,
     ProtocolError,
+)
+from .faults import (
+    ActiveFaults,
+    BandwidthDegrade,
+    FaultPlan,
+    FaultRound,
+    FaultTrace,
+    LinkDrop,
+    MessageDelay,
+    NodeCrash,
+    PayloadCorrupt,
 )
 from .message import Envelope, Message, word_bits
 from .model import NodeProgram, SimulatedClique
@@ -44,11 +58,20 @@ from .routing import (
 from .trace import RoundSnapshot, TraceRecorder, traced_drain
 
 __all__ = [
+    "ActiveFaults",
     "ArrayClique",
+    "BandwidthDegrade",
     "BandwidthExceededError",
     "BatchDelivery",
     "CongestedCliqueError",
     "Envelope",
+    "FaultPlan",
+    "FaultRound",
+    "FaultTrace",
+    "LinkDrop",
+    "MessageDelay",
+    "NodeCrash",
+    "PayloadCorrupt",
     "InboxView",
     "InvalidNodeError",
     "LedgerEntry",

@@ -178,6 +178,36 @@ class ArrayClique:
         #: ``(src, dst, words)`` of the most recent round's deliveries —
         #: the hook the trace layer uses for per-link utilization events.
         self.last_delivered: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: Compiled fault plan (see :mod:`repro.cclique.faults`), or None.
+        self._faults: Optional[Any] = None
+        #: The most recent round's injection record (``FaultRound``) —
+        #: the hook the trace layer uses when ``record_faults`` is on.
+        self.last_faults: Optional[Any] = None
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def faults(self) -> Optional[Any]:
+        """The active fault pipeline, or None when running clean."""
+        return self._faults
+
+    def attach_faults(self, plan: Optional[Any]) -> Optional[Any]:
+        """Attach a ``FaultPlan`` (or pre-compiled ``ActiveFaults``).
+
+        Returns the pipeline's ``FaultTrace`` ledger (None when
+        detaching).  Attach before staging traffic: faults apply from the
+        next ``step()`` on.  An empty plan leaves every round bit-identical
+        to the unfaulted engine.
+        """
+        if plan is None:
+            self._faults = None
+            self.last_faults = None
+            return None
+        active = plan.activate(self) if hasattr(plan, "activate") else plan
+        self._faults = active
+        return active.trace
 
     # ------------------------------------------------------------------ #
     # Tag / ref interning
@@ -325,19 +355,32 @@ class ArrayClique:
         ordered pair the earliest staged row is delivered and the rest are
         carried FIFO into the next round.
         """
+        faults = self._faults
         chunks: List[_Rows] = []
         if self._pending is not None:
             chunks.append(self._pending)
+        if faults is not None:
+            chunks.extend(faults.release(self.round_index))
         chunks.extend(self._staged)
         self._staged = []
         self._staged_count = 0
         self._round_keys = None
         if not chunks:
+            if faults is not None:
+                self.last_faults = faults.commit(self.round_index)
             self.round_index += 1
             self.last_delivered = None
             return self.round_index
 
         rows = _concat_rows(chunks)
+        if faults is not None:
+            rows = faults.filter(rows, self.round_index)
+            if not len(rows):
+                self._pending = None
+                self.last_faults = faults.commit(self.round_index)
+                self.round_index += 1
+                self.last_delivered = None
+                return self.round_index
         key = rows.src * self.n + rows.dst
         order = np.argsort(key, kind="stable")
         sorted_key = key[order]
@@ -350,8 +393,12 @@ class ArrayClique:
         rank = np.empty(len(sorted_key), dtype=np.int64)
         rank[order] = rank_sorted
         deliver = rank == 0
+        if faults is not None:
+            deliver = faults.throttle(rows, deliver, self.round_index)
 
         delivered = _take(rows, np.flatnonzero(deliver))
+        if faults is not None:
+            faults.corrupt(delivered, self.round_index)
         self._deliver(delivered)
         self.messages_delivered += len(delivered)
         self.words_delivered += int(delivered.words.sum())
@@ -363,6 +410,8 @@ class ArrayClique:
             self._pending = _take(rows, carry_index)
         else:
             self._pending = None
+        if faults is not None:
+            self.last_faults = faults.commit(self.round_index)
         self.round_index += 1
         return self.round_index
 
@@ -460,8 +509,9 @@ class ArrayClique:
         return np.concatenate(nodes), merged
 
     def pending_messages(self) -> int:
-        """Rows staged (plus spill-carried) but not yet delivered."""
-        return self._staged_count + (
+        """Rows staged (plus spill-carried and delay-deferred) undelivered."""
+        deferred = 0 if self._faults is None else self._faults.deferred_count()
+        return self._staged_count + deferred + (
             0 if self._pending is None else len(self._pending)
         )
 

@@ -1,0 +1,518 @@
+"""Vectorized fault injection for the struct-of-arrays round engine.
+
+The simulator models a *perfect* Congested Clique; production networks
+crash, drop, delay, throttle, and corrupt.  This module turns those five
+failure dimensions into composable, seeded specs that compile to masks
+over the flat round columns inside :meth:`ArrayClique.step`:
+
+* :class:`NodeCrash` — node ``v`` dies at round ``r``; every row with a
+  dead endpoint is dropped from then on (fail-stop, no recovery).
+* :class:`LinkDrop` — i.i.d. Bernoulli loss per row, optionally scoped
+  to one ordered link and a round window.
+* :class:`MessageDelay` — selected rows are deferred whole by a uniform
+  ``1..max_delay`` rounds and re-enter the engine as if re-staged (they
+  give up their link slot, exactly like a late network packet).
+* :class:`BandwidthDegrade` — rows charged more than ``capacity_words``
+  cannot cross the degraded link while the window lasts; they are
+  carried FIFO like any spill, so degradation shows up as extra rounds,
+  not loss.
+* :class:`PayloadCorrupt` — a single bit-flip in one payload word
+  (mantissa bits only by default, so values change without turning into
+  inf/NaN); ``protect_prefix`` shields leading bookkeeping words such as
+  the routing header.
+
+Determinism: all randomness is drawn from ``default_rng((seed, round))``
+— a pure function of the plan seed and the round index — so the same
+plan over the same staged traffic injects byte-identical faults, and a
+retransmitted row faces *fresh* draws in later rounds (what makes
+bounded retry an effective recovery strategy).  The injection ledger
+(:class:`FaultTrace`) rides the same byte-bounded ring-buffer discipline
+as :mod:`repro.cclique.trace`: per-round records are evicted oldest
+first under a byte budget while cumulative totals stay exact.
+
+An **empty plan is free**: every hook returns its input untouched
+without creating an RNG, and the equivalence suite asserts the faulted
+engine is bit-identical to the plain one in that case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import astuple, dataclass, field, fields
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .engine import ArrayClique, _Rows, _take
+from .errors import InvalidNodeError
+from .trace import DEFAULT_TRACE_BYTES
+
+#: Crash-round value meaning "this node never crashes".
+NEVER = np.iinfo(np.int64).max
+
+#: Approximate retained size of one :class:`FaultRound` for ring
+#: accounting (seven ints plus container overhead).
+_FAULT_ROUND_BYTES = 112
+
+#: Highest bit eligible for corruption by default — the float64 mantissa
+#: (bits 0..51); flipping exponent/sign bits would turn finite payloads
+#: into inf/NaN, which models a different failure than "corrupted value".
+_MANTISSA_BITS = 52
+
+
+def _window_active(spec: Any, round_index: int) -> bool:
+    until = spec.until_round
+    return spec.from_round <= round_index and (until is None or round_index < until)
+
+
+def _link_mask(rows: _Rows, spec: Any) -> np.ndarray:
+    """Boolean selector for the rows a link-scoped spec applies to."""
+    mask = np.ones(len(rows), dtype=bool)
+    if spec.src is not None:
+        mask &= rows.src == spec.src
+    if spec.dst is not None:
+        mask &= rows.dst == spec.dst
+    return mask
+
+
+def _check_probability(probability: float) -> None:
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+
+
+def _check_window(from_round: int, until_round: Optional[int]) -> None:
+    if from_round < 0:
+        raise ValueError("from_round must be >= 0")
+    if until_round is not None and until_round <= from_round:
+        raise ValueError("until_round must be > from_round")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of ``node`` at the start of round ``at_round``."""
+
+    node: int
+    at_round: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.at_round < 0:
+            raise ValueError("at_round must be >= 0")
+
+
+@dataclass(frozen=True)
+class LinkDrop:
+    """I.i.d. per-row message loss, optionally scoped to one link/window."""
+
+    probability: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    from_round: int = 0
+    until_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        _check_window(self.from_round, self.until_round)
+
+
+@dataclass(frozen=True)
+class MessageDelay:
+    """Defer selected rows whole by a uniform ``1..max_delay`` rounds.
+
+    Released rows re-enter the round pipeline as staged traffic and face
+    the *same* delay draw again — total delay is geometric in
+    ``probability``.  ``probability=1.0`` with an unbounded window
+    therefore re-delays forever (``drain`` hits its round guard); give a
+    certain delay an ``until_round``.
+    """
+
+    probability: float
+    max_delay: int = 3
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    from_round: int = 0
+    until_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        _check_window(self.from_round, self.until_round)
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+
+
+@dataclass(frozen=True)
+class BandwidthDegrade:
+    """Cap a link at ``capacity_words`` per message while the window lasts.
+
+    Rows charged more than the cap are carried FIFO into later rounds
+    (counted in ``spill_rounds``), never dropped — an unbounded window
+    therefore starves over-cap rows forever and ``drain`` will hit its
+    round guard; give degradation an ``until_round``.
+    """
+
+    capacity_words: int
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    from_round: int = 0
+    until_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_words < 0:
+            raise ValueError("capacity_words must be >= 0")
+        _check_window(self.from_round, self.until_round)
+
+
+@dataclass(frozen=True)
+class PayloadCorrupt:
+    """Flip one payload bit per selected row at delivery time.
+
+    ``protect_prefix`` exempts the leading payload columns (routing
+    headers); ``bit`` pins the flipped bit, otherwise a uniform mantissa
+    bit is drawn per row.
+    """
+
+    probability: float
+    bit: Optional[int] = None
+    protect_prefix: int = 0
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    from_round: int = 0
+    until_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        _check_window(self.from_round, self.until_round)
+        if self.bit is not None and not 0 <= self.bit < 64:
+            raise ValueError("bit must be in [0, 64)")
+        if self.protect_prefix < 0:
+            raise ValueError("protect_prefix must be >= 0")
+
+
+FaultSpec = Union[NodeCrash, LinkDrop, MessageDelay, BandwidthDegrade, PayloadCorrupt]
+
+_SPEC_KINDS: Dict[type, str] = {
+    NodeCrash: "node-crash",
+    LinkDrop: "link-drop",
+    MessageDelay: "message-delay",
+    BandwidthDegrade: "bandwidth-degrade",
+    PayloadCorrupt: "payload-corrupt",
+}
+
+
+@dataclass(frozen=True)
+class FaultRound:
+    """Injection counts of one engine round (the ledger's unit record)."""
+
+    round_index: int
+    crashed: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    released: int = 0
+    throttled: int = 0
+    corrupted: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Rows touched by any fault this round (releases excluded)."""
+        return (
+            self.crashed + self.dropped + self.delayed
+            + self.throttled + self.corrupted
+        )
+
+
+#: The cumulative-counter keys a :class:`FaultTrace` maintains.
+_TOTAL_KEYS = ("crashed", "dropped", "delayed", "released", "throttled", "corrupted")
+
+
+class FaultTrace:
+    """Byte-bounded ring of per-round injection records + exact totals.
+
+    Mirrors :class:`~repro.cclique.trace.TraceRecorder`: when a new
+    record would exceed ``max_bytes``, the oldest rounds are evicted and
+    counted in :attr:`dropped_records`, while :attr:`totals` and
+    :attr:`rounds_seen` are running counters that stay correct no matter
+    how much history was evicted.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = DEFAULT_TRACE_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self.records: Deque[FaultRound] = deque()
+        self.dropped_records = 0
+        self.bytes_used = 0
+        self.rounds_seen = 0
+        self.totals: Dict[str, int] = {key: 0 for key in _TOTAL_KEYS}
+
+    def record(self, fault_round: FaultRound) -> None:
+        self.records.append(fault_round)
+        self.bytes_used += _FAULT_ROUND_BYTES
+        self.rounds_seen += 1
+        for key in _TOTAL_KEYS:
+            self.totals[key] += getattr(fault_round, key)
+        if self.max_bytes is not None:
+            while self.bytes_used > self.max_bytes and len(self.records) > 1:
+                self.records.popleft()
+                self.bytes_used -= _FAULT_ROUND_BYTES
+                self.dropped_records += 1
+
+    @property
+    def last(self) -> Optional[FaultRound]:
+        return self.records[-1] if self.records else None
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.totals[key] for key in _TOTAL_KEYS if key != "released")
+
+    def signature(self) -> Tuple[Tuple[int, ...], ...]:
+        """Hashable view of the retained records (determinism tests)."""
+        return tuple(astuple(record) for record in self.records)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe cumulative view of the ledger."""
+        return {
+            "rounds_seen": self.rounds_seen,
+            "retained_rounds": len(self.records),
+            "dropped_records": self.dropped_records,
+            "total_injected": self.total_injected,
+            **dict(self.totals),
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable, seeded set of fault specs for one clique execution.
+
+    Frozen and reusable: :meth:`activate` compiles a fresh
+    :class:`ActiveFaults` per engine, so attaching the same plan to two
+    engines injects identical faults on identical traffic.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if type(spec) not in _SPEC_KINDS:
+                raise TypeError(f"not a fault spec: {spec!r}")
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe description (the ``ChaosReport.plan`` field)."""
+        described = []
+        for spec in self.specs:
+            entry: Dict[str, Any] = {"kind": _SPEC_KINDS[type(spec)]}
+            for spec_field in fields(spec):
+                entry[spec_field.name] = getattr(spec, spec_field.name)
+            described.append(entry)
+        return {"seed": self.seed, "specs": described}
+
+    def activate(self, clique: ArrayClique) -> "ActiveFaults":
+        """Compile the plan against one engine's node count."""
+        for spec in self.specs:
+            if isinstance(spec, NodeCrash) and spec.node >= clique.n:
+                raise InvalidNodeError(spec.node, clique.n)
+            for endpoint in ("src", "dst"):
+                value = getattr(spec, endpoint, None)
+                if value is not None and not 0 <= value < clique.n:
+                    raise InvalidNodeError(value, clique.n)
+        return ActiveFaults(self, clique.n)
+
+
+class ActiveFaults:
+    """One plan compiled against one engine — the per-round mask pipeline.
+
+    :meth:`ArrayClique.step` calls the hooks in a fixed order::
+
+        release -> filter (crash | drop | delay) -> rank -> throttle
+                -> corrupt -> commit
+
+    Crash/drop/delay run *before* the rank-within-link computation, so a
+    dropped or delayed row gives up its link slot for the round;
+    degradation runs after (it blocks the slot winner, which is then
+    carried FIFO); corruption touches only the rows actually delivered.
+    """
+
+    def __init__(self, plan: FaultPlan, n: int) -> None:
+        self.plan = plan
+        self.n = n
+        self.trace = FaultTrace()
+        self._crash_round = np.full(n, NEVER, dtype=np.int64)
+        self._drops: List[LinkDrop] = []
+        self._delays: List[MessageDelay] = []
+        self._degrades: List[BandwidthDegrade] = []
+        self._corrupts: List[PayloadCorrupt] = []
+        for spec in plan.specs:
+            if isinstance(spec, NodeCrash):
+                self._crash_round[spec.node] = min(
+                    int(self._crash_round[spec.node]), spec.at_round
+                )
+            elif isinstance(spec, LinkDrop):
+                self._drops.append(spec)
+            elif isinstance(spec, MessageDelay):
+                self._delays.append(spec)
+            elif isinstance(spec, BandwidthDegrade):
+                self._degrades.append(spec)
+            else:
+                self._corrupts.append(spec)
+        self._any_crash = bool((self._crash_round != NEVER).any())
+        self._deferred: List[Tuple[int, _Rows]] = []
+        self._counts: Dict[str, int] = {key: 0 for key in _TOTAL_KEYS}
+        self._rng: Optional[np.random.Generator] = None
+        self._rng_round = -1
+
+    # ------------------------------------------------------------------ #
+    # Deterministic randomness
+    # ------------------------------------------------------------------ #
+
+    def _round_rng(self, round_index: int) -> np.random.Generator:
+        """RNG that is a pure function of ``(plan seed, round index)``."""
+        if self._rng is None or self._rng_round != round_index:
+            self._rng = np.random.default_rng((self.plan.seed, round_index))
+            self._rng_round = round_index
+        return self._rng
+
+    # ------------------------------------------------------------------ #
+    # Hooks, in pipeline order
+    # ------------------------------------------------------------------ #
+
+    def dead_nodes(self, round_index: int) -> np.ndarray:
+        """Boolean ``(n,)`` mask of nodes crashed by ``round_index``."""
+        return self._crash_round <= round_index
+
+    def release(self, round_index: int) -> List[_Rows]:
+        """Deferred chunks whose delay matured; they re-enter as staged."""
+        if not self._deferred:
+            return []
+        matured = [rows for due, rows in self._deferred if due <= round_index]
+        if not matured:
+            return []
+        self._deferred = [
+            (due, rows) for due, rows in self._deferred if due > round_index
+        ]
+        self._counts["released"] += sum(len(rows) for rows in matured)
+        return matured
+
+    def filter(self, rows: _Rows, round_index: int) -> _Rows:
+        """Apply crash drops, link drops, and delays; returns kept rows.
+
+        Order matters for the ledger: a row on a dead endpoint counts as
+        ``crashed`` even if a drop spec would also have hit it.
+        """
+        keep = np.ones(len(rows), dtype=bool)
+        if self._any_crash:
+            dead = self.dead_nodes(round_index)
+            hit = dead[rows.src] | dead[rows.dst]
+            if hit.any():
+                self._counts["crashed"] += int(hit.sum())
+                keep &= ~hit
+        for spec in self._drops:
+            if spec.probability <= 0.0 or not _window_active(spec, round_index):
+                continue
+            candidates = np.flatnonzero(keep & _link_mask(rows, spec))
+            if not len(candidates):
+                continue
+            draws = self._round_rng(round_index).random(len(candidates))
+            dropped = candidates[draws < spec.probability]
+            if len(dropped):
+                self._counts["dropped"] += len(dropped)
+                keep[dropped] = False
+        for spec in self._delays:
+            if spec.probability <= 0.0 or not _window_active(spec, round_index):
+                continue
+            candidates = np.flatnonzero(keep & _link_mask(rows, spec))
+            if not len(candidates):
+                continue
+            rng = self._round_rng(round_index)
+            delayed = candidates[rng.random(len(candidates)) < spec.probability]
+            if not len(delayed):
+                continue
+            delays = rng.integers(1, spec.max_delay + 1, size=len(delayed))
+            for delay in np.unique(delays):
+                chunk = delayed[delays == delay]
+                self._deferred.append(
+                    (round_index + int(delay), _take(rows, chunk))
+                )
+            self._counts["delayed"] += len(delayed)
+            keep[delayed] = False
+        if keep.all():
+            return rows
+        return _take(rows, np.flatnonzero(keep))
+
+    def throttle(
+        self, rows: _Rows, deliver: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """Block slot winners that exceed a degraded link's capacity."""
+        for spec in self._degrades:
+            if not _window_active(spec, round_index):
+                continue
+            blocked = deliver & _link_mask(rows, spec) & (
+                rows.words > spec.capacity_words
+            )
+            count = int(blocked.sum())
+            if count:
+                self._counts["throttled"] += count
+                deliver = deliver & ~blocked
+        return deliver
+
+    def corrupt(self, rows: _Rows, round_index: int) -> None:
+        """Flip bits in delivered rows' payload words, in place."""
+        if not self._corrupts or not len(rows):
+            return
+        width = rows.payload.shape[1]
+        if width == 0:
+            return
+        for spec in self._corrupts:
+            if spec.probability <= 0.0 or not _window_active(spec, round_index):
+                continue
+            if spec.protect_prefix >= width:
+                continue
+            candidates = np.flatnonzero(_link_mask(rows, spec))
+            if not len(candidates):
+                continue
+            rng = self._round_rng(round_index)
+            chosen = candidates[rng.random(len(candidates)) < spec.probability]
+            if not len(chosen):
+                continue
+            columns = rng.integers(spec.protect_prefix, width, size=len(chosen))
+            if spec.bit is not None:
+                bits = np.full(len(chosen), spec.bit, dtype=np.int64)
+            else:
+                bits = rng.integers(0, _MANTISSA_BITS, size=len(chosen))
+            # NaN cells are cross-chunk width padding, not payload.
+            real = ~np.isnan(rows.payload[chosen, columns])
+            chosen, columns, bits = chosen[real], columns[real], bits[real]
+            if not len(chosen):
+                continue
+            as_bits = rows.payload.view(np.int64)
+            as_bits[chosen, columns] ^= np.int64(1) << bits.astype(np.int64)
+            self._counts["corrupted"] += len(chosen)
+
+    def deferred_count(self) -> int:
+        """Rows held back by delay specs, awaiting release."""
+        return sum(len(rows) for _, rows in self._deferred)
+
+    def commit(self, round_index: int) -> FaultRound:
+        """Close the round's ledger entry and reset the per-round counts."""
+        record = FaultRound(round_index=round_index, **self._counts)
+        self.trace.record(record)
+        self._counts = {key: 0 for key in _TOTAL_KEYS}
+        return record
+
+
+__all__ = [
+    "ActiveFaults",
+    "BandwidthDegrade",
+    "FaultPlan",
+    "FaultRound",
+    "FaultSpec",
+    "FaultTrace",
+    "LinkDrop",
+    "MessageDelay",
+    "NEVER",
+    "NodeCrash",
+    "PayloadCorrupt",
+]

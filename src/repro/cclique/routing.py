@@ -47,7 +47,13 @@ from .message import Message
 
 @dataclass
 class RoutingStats:
-    """Outcome of a routing execution on the simulator."""
+    """Outcome of a routing execution on the simulator.
+
+    ``retries``/``undelivered``/``fault_totals`` are only populated by
+    the resilient mode of :func:`route_batch_two_phase` (fault plan
+    attached or ``max_retries > 0``); the clean path leaves them at
+    their defaults.
+    """
 
     rounds: int
     messages: int
@@ -55,6 +61,9 @@ class RoutingStats:
     max_received_per_node: int
     relay_max_load: int
     spill_rounds: int = 0
+    retries: int = 0
+    undelivered: int = 0
+    fault_totals: Optional[Dict[str, int]] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -302,6 +311,10 @@ def route_batch_two_phase(
     n: int,
     bandwidth_words: int = 4,
     load_constant: float = 8.0,
+    *,
+    faults=None,
+    max_retries: int = 0,
+    avoid_crashed: bool = True,
 ) -> Tuple[BatchDelivery, RoutingStats]:
     """Deterministic Lenzen-style routing of a numpy message batch.
 
@@ -317,7 +330,24 @@ def route_batch_two_phase(
 
     Returns the delivered rows grouped by destination and the measured
     :class:`RoutingStats`; rounds include the two coordination rounds.
+
+    **Resilient mode** (``faults`` set or ``max_retries > 0``): the batch
+    runs on a fault-injected engine (see :mod:`repro.cclique.faults`)
+    with an ack/timeout-driven bounded-retry loop — destinations
+    acknowledge delivered row ids (one extra round per attempt), senders
+    retransmit the unacknowledged remainder through a freshly planned
+    relay schedule, at most ``max_retries`` times.  With
+    ``avoid_crashed=True`` the replan also routes around nodes the plan
+    has crashed (rows whose *endpoints* are dead are undeliverable and
+    counted in ``stats.undelivered`` instead of being retried forever).
+    Delivered payloads are whatever arrived — corruption shows up in the
+    rows, loss in the delivery rate.
     """
+    if faults is not None or max_retries > 0:
+        return _route_batch_resilient(
+            batch, n, bandwidth_words, load_constant, faults,
+            int(max_retries), avoid_crashed,
+        )
     max_sent, max_received = _validate_load_columns(
         batch.src, batch.dst, n, load_constant, check_sent=True
     )
@@ -331,6 +361,181 @@ def route_batch_two_phase(
         max_received_per_node=max_received,
         relay_max_load=int(np.bincount(relay, minlength=n).max(initial=0)),
         spill_rounds=clique.spill_rounds,
+    )
+    return delivery, stats
+
+
+def _route_batch_resilient(
+    batch: MessageBatch,
+    n: int,
+    bandwidth_words: int,
+    load_constant: float,
+    faults,
+    max_retries: int,
+    avoid_crashed: bool,
+) -> Tuple[BatchDelivery, RoutingStats]:
+    """Two-phase routing with retransmit/replan recovery on one engine.
+
+    One clique carries every attempt, so the fault plan's round windows
+    and per-round RNG advance consistently across retries — a
+    retransmitted row faces *fresh* loss draws, which is exactly why
+    bounded retry recovers delivery rate.  Each row is wrapped as
+    ``[dst, rowid, payload...]`` (two charged bookkeeping words); the
+    rowid doubles as the ack token, and a delivered rowid is validated
+    against the row's true destination so a corrupted header cannot
+    acknowledge somebody else's message.
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    max_sent, max_received = _validate_load_columns(
+        batch.src, batch.dst, n, load_constant, check_sent=True
+    )
+    m = len(batch)
+    width = batch.payload.shape[1]
+    clique = ArrayClique(n, bandwidth_words=bandwidth_words, strict=False)
+    active = None
+    if faults is not None:
+        clique.attach_faults(faults)
+        active = clique.faults
+    words = (
+        batch.words
+        if batch.words is not None
+        else np.full(m, max(1, width), dtype=np.int64)
+    )
+    ref_ids = clique.add_refs(list(batch.refs)) if batch.refs is not None else None
+    tag_id = clique.tag_id(batch.tag)
+
+    outstanding = np.arange(m, dtype=np.int64)
+    delivered_rows: List[np.ndarray] = []
+    delivered_payloads: List[np.ndarray] = []
+    relay_max = 0
+    retries = 0
+    while len(outstanding):
+        src_round = batch.src[outstanding]
+        dst_round = batch.dst[outstanding]
+        dead = (
+            active.dead_nodes(clique.round_index)
+            if active is not None
+            else None
+        )
+        if dead is not None and dead.any():
+            # Rows with a dead endpoint can never deliver — stop
+            # retrying them instead of burning the retry budget.
+            viable = ~(dead[src_round] | dead[dst_round])
+            if not viable.all():
+                outstanding = outstanding[viable]
+                if not len(outstanding):
+                    break
+                src_round = src_round[viable]
+                dst_round = dst_round[viable]
+        relay = two_phase_relays(src_round, dst_round, n)
+        if dead is not None and avoid_crashed and dead.any():
+            alive = np.flatnonzero(~dead)
+            if not len(alive):
+                outstanding = outstanding[:0]
+                break
+            hit = dead[relay]
+            if hit.any():
+                # Deterministic replan: remap each dead relay slot onto
+                # the live nodes, preserving the slot's spread.
+                relay = relay.copy()
+                relay[hit] = alive[relay[hit] % len(alive)]
+        relay_max = max(
+            relay_max, int(np.bincount(relay, minlength=n).max(initial=0))
+        )
+        wrapped = np.column_stack(
+            [
+                dst_round.astype(np.float64),
+                outstanding.astype(np.float64),
+                batch.payload[outstanding],
+            ]
+        )
+        clique.stage(
+            src_round,
+            relay,
+            wrapped,
+            words=words[outstanding] + 2,
+            tag=batch.tag,
+            ref_ids=ref_ids[outstanding] if ref_ids is not None else None,
+        )
+        clique.drain()
+        holder, held = clique.collect()
+        if len(held):
+            # A corrupted destination header would crash stage() with an
+            # invalid node; the relay drops such garbage instead (the row
+            # is simply never acked and rides the next retransmission).
+            header = held.payload[:, 0]
+            sane = np.isfinite(header)
+            forward = np.where(sane, header, 0).astype(np.int64)
+            sane &= (forward >= 0) & (forward < n)
+            index = np.flatnonzero(sane)
+            if len(index):
+                clique.stage(
+                    holder[index],
+                    forward[index],
+                    held.payload[index, 1:],
+                    words=held.words[index] - 1,
+                    tag=batch.tag,
+                    ref_ids=held.ref[index],
+                )
+                clique.drain()
+        node, view = clique.collect()
+        if len(view):
+            token = view.payload[:, 0]
+            accepted = np.isfinite(token)
+            rowid = np.where(accepted, token, -1).astype(np.int64)
+            accepted &= (rowid >= 0) & (rowid < m)
+            safe = np.clip(rowid, 0, m - 1)
+            accepted &= node == batch.dst[safe]
+            accepted &= np.isin(rowid, outstanding)
+            rowid = rowid[accepted]
+            if len(rowid):
+                delivered_rows.append(rowid)
+                delivered_payloads.append(view.payload[accepted, 1:])
+                outstanding = outstanding[~np.isin(outstanding, rowid)]
+        if not len(outstanding) or retries >= max_retries:
+            break
+        retries += 1
+        clique.step()  # the ack round: destinations confirm row ids
+
+    if delivered_rows:
+        rowids = np.concatenate(delivered_rows)
+        payloads = np.concatenate(delivered_payloads)
+    else:
+        rowids = np.empty(0, dtype=np.int64)
+        payloads = np.empty((0, width), dtype=np.float64)
+    order = np.argsort(batch.dst[rowids], kind="stable")
+    rowids = rowids[order]
+    payloads = payloads[order]
+    dst_sorted = batch.dst[rowids]
+    starts = np.searchsorted(dst_sorted, np.arange(n + 1))
+    delivery = BatchDelivery(
+        n=n,
+        dst=dst_sorted,
+        src=batch.src[rowids],
+        payload=payloads,
+        starts=starts,
+        ref=(
+            ref_ids[rowids]
+            if ref_ids is not None
+            else np.full(len(rowids), NO_REF, dtype=np.int64)
+        ),
+        refs=clique.refs if batch.refs is not None else None,
+        tag=np.full(len(rowids), tag_id, dtype=np.int64),
+        tag_names=clique.tag_table,
+    )
+    stats = RoutingStats(
+        rounds=2 + clique.round_index,  # coordination + every data/ack round
+        messages=m,
+        max_sent_per_node=max_sent,
+        max_received_per_node=max_received,
+        relay_max_load=relay_max,
+        spill_rounds=clique.spill_rounds,
+        retries=retries,
+        undelivered=m - len(rowids),
+        fault_totals=(
+            active.trace.summary() if active is not None else None
+        ),
     )
     return delivery, stats
 

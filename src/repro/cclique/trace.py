@@ -25,12 +25,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Union
+from typing import TYPE_CHECKING, Deque, Optional, Union
 
 import numpy as np
 
 from .engine import ArrayClique
 from .model import SimulatedClique
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports us)
+    from .faults import FaultRound
 
 #: Default history budget (4 MiB ≈ 45k aggregate snapshots, or a few
 #: hundred full-load link rounds at n = 1024).
@@ -45,13 +48,20 @@ Clique = Union[SimulatedClique, ArrayClique]
 
 @dataclass
 class RoundSnapshot:
-    """Aggregate statistics of one simulator round."""
+    """Aggregate statistics of one simulator round.
+
+    ``faults`` carries the round's injection record (a
+    :class:`~repro.cclique.faults.FaultRound`) when the recorder runs
+    with ``record_faults=True`` against an engine with an attached
+    :class:`~repro.cclique.faults.FaultPlan`; None otherwise.
+    """
 
     round_index: int
     messages_delivered: int
     words_delivered: int
     pending_after: int
     spill_rounds_total: int
+    faults: Optional["FaultRound"] = None
 
 
 @dataclass
@@ -88,6 +98,10 @@ class TraceRecorder:
         When True, every snapshot also stores a :class:`LinkEvent` with
         the round's per-link delivery counts (taken from the engine's
         ``last_delivered`` columns).
+    record_faults:
+        When True, every snapshot also carries the round's fault ledger
+        entry (the engine's ``last_faults`` record), so the injection
+        history rides the same ring as the delivery history.
     """
 
     def __init__(
@@ -95,10 +109,12 @@ class TraceRecorder:
         clique: Clique,
         max_bytes: Optional[int] = DEFAULT_TRACE_BYTES,
         record_links: bool = False,
+        record_faults: bool = False,
     ) -> None:
         self.clique = clique
         self.max_bytes = max_bytes
         self.record_links = record_links
+        self.record_faults = record_faults
         self.snapshots: Deque[RoundSnapshot] = deque()
         self.link_events: Deque[LinkEvent] = deque()
         self.dropped_events = 0
@@ -115,12 +131,18 @@ class TraceRecorder:
 
     def snapshot(self) -> RoundSnapshot:
         """Record the delta since the previous snapshot."""
+        fault_round = None
+        if self.record_faults:
+            engine = self._engine()
+            if engine is not None:
+                fault_round = getattr(engine, "last_faults", None)
         snap = RoundSnapshot(
             round_index=self.clique.round_index,
             messages_delivered=self.clique.messages_delivered - self._last_messages,
             words_delivered=self.clique.words_delivered - self._last_words,
             pending_after=self.clique.pending_messages(),
             spill_rounds_total=self.clique.spill_rounds,
+            faults=fault_round,
         )
         self._last_messages = self.clique.messages_delivered
         self._last_words = self.clique.words_delivered
@@ -128,6 +150,8 @@ class TraceRecorder:
         self._total_messages += snap.messages_delivered
         self.snapshots.append(snap)
         self.bytes_used += _SNAPSHOT_BYTES
+        if snap.faults is not None:
+            self.bytes_used += _SNAPSHOT_BYTES  # the riding FaultRound
         if self.record_links:
             event = self._link_event(snap.round_index)
             if event is not None:
@@ -169,8 +193,10 @@ class TraceRecorder:
                 event = self.link_events.popleft()
                 self.bytes_used -= event.nbytes
             else:
-                self.snapshots.popleft()
+                snap = self.snapshots.popleft()
                 self.bytes_used -= _SNAPSHOT_BYTES
+                if snap.faults is not None:
+                    self.bytes_used -= _SNAPSHOT_BYTES
             self.dropped_events += 1
 
     @property
@@ -219,9 +245,15 @@ def traced_drain(
     max_rounds: int = 10_000,
     max_bytes: Optional[int] = DEFAULT_TRACE_BYTES,
     record_links: bool = False,
+    record_faults: bool = False,
 ) -> TraceRecorder:
     """Drain all staged messages, snapshotting every round."""
-    recorder = TraceRecorder(clique, max_bytes=max_bytes, record_links=record_links)
+    recorder = TraceRecorder(
+        clique,
+        max_bytes=max_bytes,
+        record_links=record_links,
+        record_faults=record_faults,
+    )
     used = 0
     while clique.pending_messages():
         if used >= max_rounds:

@@ -1,0 +1,52 @@
+"""Chaos harness for the communication plane (see DESIGN.md section 11).
+
+Pairs seeded :class:`~repro.cclique.faults.FaultPlan` injections with
+protocol runs and scores the outcome — delivery rate, stretch
+degradation vs the fault-free differential reference, rounds to
+recovery.  Scenarios live in one registry mirroring the algorithm
+variant registry (:mod:`repro.core.registry`)::
+
+    from repro.chaos import run_scenario, scenario_names
+
+    for name in scenario_names():
+        report = run_scenario(name, n=64, seed=0)
+        print(name, report.score)
+
+Entry points: ``python -m repro chaos`` (scored table + JSON report),
+``benchmarks/bench_chaos.py`` (E22 curves), ``examples/chaos_demo.py``.
+"""
+
+from .registry import (
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .scoring import (
+    ChaosReport,
+    RunMetrics,
+    delivery_rate,
+    recovery_score,
+    stretch_degradation,
+)
+
+# Importing the module registers the built-in scenarios.
+from . import scenarios  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "ChaosReport",
+    "RunMetrics",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "delivery_rate",
+    "get_scenario",
+    "iter_scenarios",
+    "recovery_score",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "stretch_degradation",
+]

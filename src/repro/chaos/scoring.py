@@ -1,0 +1,159 @@
+"""Scoring the chaos scenarios: delivery, degradation, recovery.
+
+Every scenario runs the same workload at least twice — a fault-free
+reference and one or more faulted executions — and scores the faulted
+runs *against the reference* (the differential discipline the
+communication plane already uses for correctness is reused here for
+resilience):
+
+* **delivery rate** — delivered rows / attempted rows of a routing run
+  (``NaN``-free: an empty instance scores 1.0);
+* **stretch degradation** — mean ratio of a protocol's faulted distance
+  estimates over the fault-free ones (>= 1: lost gossip can only keep
+  estimates too high), with newly-unreachable pairs counted separately;
+* **rounds to recovery** — extra rounds the recovered run needed beyond
+  the fault-free reference (the latency price of retransmits, replans,
+  and waiting out degradation windows).
+
+:class:`ChaosReport` is the JSON artifact: plan description, per-run
+metrics, and the score dict, round-trippable through
+``ChaosReport.from_json(report.to_json())``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+def delivery_rate(delivered: int, attempted: int) -> float:
+    """Delivered fraction; an empty instance trivially scores 1.0."""
+    if attempted <= 0:
+        return 1.0
+    return delivered / attempted
+
+
+def stretch_degradation(
+    reference: np.ndarray, faulted: np.ndarray
+) -> Dict[str, Any]:
+    """Compare a protocol's faulted estimates against the fault-free run.
+
+    Ratios are taken over the pairs the reference run resolved to a
+    finite positive distance; pairs the faulted run left unreachable
+    (``inf``) are excluded from the mean and reported as
+    ``disconnected_pairs``.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    faulted = np.asarray(faulted, dtype=np.float64)
+    comparable = np.isfinite(reference) & (reference > 0)
+    disconnected = int((~np.isfinite(faulted[comparable])).sum())
+    both = comparable & np.isfinite(faulted)
+    ratios = faulted[both] / reference[both]
+    return {
+        "mean_ratio": float(ratios.mean()) if len(ratios) else None,
+        "max_ratio": float(ratios.max()) if len(ratios) else None,
+        "degraded_pairs": int((ratios > 1.0).sum()),
+        "disconnected_pairs": disconnected,
+        "compared_pairs": int(both.sum()),
+    }
+
+
+@dataclass
+class RunMetrics:
+    """JSON-safe record of one protocol execution inside a scenario."""
+
+    name: str
+    attempted: int
+    delivered: int
+    rounds: int
+    spill_rounds: int = 0
+    retries: int = 0
+    undelivered: int = 0
+    fault_totals: Optional[Dict[str, int]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delivery_rate(self) -> float:
+        return delivery_rate(self.delivered, self.attempted)
+
+    def snapshot(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["delivery_rate"] = self.delivery_rate
+        return out
+
+
+@dataclass
+class ChaosReport:
+    """The JSON artifact of one scored chaos scenario."""
+
+    scenario: str = ""
+    n: int = 0
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+    plan: Dict[str, Any] = field(default_factory=dict)
+    runs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    score: Dict[str, Any] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "n": self.n,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "plan": dict(self.plan),
+            "runs": {name: dict(run) for name, run in self.runs.items()},
+            "score": dict(self.score),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ChaosReport":
+        data = json.loads(payload)
+        return cls(
+            scenario=data["scenario"],
+            n=data["n"],
+            seed=data["seed"],
+            params=data["params"],
+            plan=data["plan"],
+            runs=data["runs"],
+            score=data["score"],
+        )
+
+
+def recovery_score(
+    clean: RunMetrics,
+    faulted: RunMetrics,
+    recovered: RunMetrics,
+) -> Dict[str, Any]:
+    """The canonical three-run score: damage, recovery gain, latency price.
+
+    ``recovery_gain`` is the delivery-rate improvement bounded retry /
+    replanning bought over the unrecovered run under the *same* plan and
+    seed; ``rounds_to_recovery`` is the extra rounds the recovered run
+    spent beyond the fault-free reference.
+    """
+    gain = recovered.delivery_rate - faulted.delivery_rate
+    return {
+        "delivery_no_recovery": faulted.delivery_rate,
+        "delivery_rate": recovered.delivery_rate,
+        "recovery_gain": gain,
+        "rounds_clean": clean.rounds,
+        "rounds_recovered": recovered.rounds,
+        "rounds_to_recovery": recovered.rounds - clean.rounds,
+        "retries_used": recovered.retries,
+        "perfect": recovered.delivery_rate == 1.0,
+    }
+
+
+__all__ = [
+    "ChaosReport",
+    "RunMetrics",
+    "delivery_rate",
+    "recovery_score",
+    "stretch_degradation",
+]

@@ -474,6 +474,76 @@ def cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coerce_param(value: str):
+    """``--set`` values: int where possible, then float, else string."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import get_scenario, iter_scenarios, run_scenario
+
+    if args.list:
+        rows = [
+            (spec.name, spec.faults, spec.recovery)
+            for spec in iter_scenarios()
+        ]
+        print(format_table(["scenario", "faults", "recovery"], rows,
+                           title="registered chaos scenarios"))
+        return 0
+
+    overrides = {}
+    for item in args.set or []:
+        if "=" not in item:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        overrides[key] = _coerce_param(value)
+
+    names = [args.scenario] if args.scenario else [
+        spec.name for spec in iter_scenarios()
+    ]
+    reports = []
+    rows = []
+    for name in names:
+        accepted = get_scenario(name).default_params
+        params = {k: v for k, v in overrides.items() if k in accepted}
+        report = run_scenario(name, n=args.n, seed=args.seed, **params)
+        reports.append(report)
+        score = report.score
+
+        def cell(key, fmt="{:.3f}"):
+            value = score.get(key)
+            return fmt.format(value) if value is not None else "-"
+
+        rows.append((
+            name,
+            cell("delivery_no_recovery"),
+            cell("delivery_rate"),
+            cell("recovery_gain", "{:+.3f}"),
+            cell("rounds_to_recovery", "{:d}"),
+            cell("stretch_degradation", "{:.3f}x"),
+        ))
+    print(format_table(
+        ["scenario", "no-recovery", "recovered", "gain", "extra rounds",
+         "stretch"],
+        rows,
+        title=f"chaos scenarios (n={args.n}, seed={args.seed})",
+    ))
+    if args.json:
+        payload = [report.snapshot() for report in reports]
+        with open(args.json, "w", encoding="utf-8") as sink:
+            json.dump(payload[0] if len(payload) == 1 else payload,
+                      sink, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -614,6 +684,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--k", type=int, default=5, help="k for the k_nearest endpoint"
     )
     serve_parser.set_defaults(handler=cmd_serve_bench)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run fault-injection scenarios and score recovery",
+    )
+    chaos_parser.add_argument(
+        "--n", type=int, default=48, help="clique size for each scenario"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    from .chaos import scenario_names
+
+    chaos_parser.add_argument(
+        "--scenario",
+        default=None,
+        choices=scenario_names(),
+        help="one scenario name (default: run every registered scenario)",
+    )
+    chaos_parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
+    chaos_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable), e.g. --set drop=0.1",
+    )
+    chaos_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the ChaosReport(s) JSON artifact to PATH",
+    )
+    chaos_parser.set_defaults(handler=cmd_chaos)
 
     return parser
 

@@ -19,7 +19,7 @@ Two renderings share the same schedule:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -86,16 +86,22 @@ class BellmanFordProgram(NodeProgram):
 
 @dataclass
 class BellmanFordRun:
-    """Result of a full distributed Bellman-Ford execution."""
+    """Result of a full distributed Bellman-Ford execution.
+
+    ``fault_totals`` is the injection ledger summary when the run was
+    executed under a :class:`~repro.cclique.faults.FaultPlan`.
+    """
 
     estimate: np.ndarray
     rounds: int
+    fault_totals: Optional[Dict[str, int]] = None
 
 
 def run_distributed_bellman_ford(
     graph: WeightedGraph,
     batch: int = 8,
     horizon_factor: int = 2,
+    faults=None,
 ) -> BellmanFordRun:
     """Run the gossip protocol on the array plane; return the APSP matrix.
 
@@ -103,6 +109,11 @@ def run_distributed_bellman_ford(
     message per neighbour (unused slots padded with a ``-1`` sentinel and
     not charged), all nodes in one flat batch; the relaxation over every
     delivered ``(target, distance)`` pair is one vectorized scatter-min.
+
+    ``faults`` optionally attaches a fault plan to the underlying clique
+    (see :mod:`repro.cclique.faults`); the gossip schedule is unchanged —
+    whatever survives injection is relaxed, making this the chaos
+    harness's protocol-level measurement target.
     """
     if graph.directed:
         raise ValueError("the gossip protocol assumes undirected edges")
@@ -110,6 +121,8 @@ def run_distributed_bellman_ford(
     batch = int(batch)
     horizon = max(2, int(horizon_factor) * n)
     clique = ArrayClique(n, bandwidth_words=2 * batch, strict=False)
+    if faults is not None:
+        clique.attach_faults(faults)
     weight_matrix = graph.matrix()  # W[v, u] = edge weight, inf if absent
     # neighbour lists as flat columns for the per-round fan-out
     adjacency = graph.adjacency()
@@ -148,7 +161,9 @@ def run_distributed_bellman_ford(
             pairs = view.payload.reshape(len(view), -1, 2)
             targets = pairs[:, :, 0]
             through = pairs[:, :, 1]
-            valid = targets >= 0
+            # Upper bound guards against corrupted target words: a
+            # garbage index must not crash the relaxation scatter.
+            valid = (targets >= 0) & (targets < n)
             rows_idx, slot_idx = np.nonzero(valid)
             if len(rows_idx):
                 receiver = node[rows_idx]
@@ -174,4 +189,7 @@ def run_distributed_bellman_ford(
                             (int(target_i[idx]), float(dist[receiver_i[idx], target_i[idx]]))
                         )
 
-    return BellmanFordRun(estimate=dist, rounds=horizon)
+    totals = None
+    if clique.faults is not None:
+        totals = clique.faults.trace.summary()
+    return BellmanFordRun(estimate=dist, rounds=horizon, fault_totals=totals)

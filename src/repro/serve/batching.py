@@ -45,6 +45,7 @@ class BatcherStats:
     deadline_flushes: int = 0
     drain_flushes: int = 0
     errors: int = 0
+    cancelled: int = 0
     max_batch_seen: int = 0
 
     @property
@@ -63,6 +64,7 @@ class BatcherStats:
             "deadline_flushes": self.deadline_flushes,
             "drain_flushes": self.drain_flushes,
             "errors": self.errors,
+            "cancelled": self.cancelled,
             "max_batch_seen": self.max_batch_seen,
             "mean_batch": self.mean_batch,
         }
@@ -176,15 +178,55 @@ class MicroBatcher:
                 item.future.set_result(result)
 
     async def drain(self) -> None:
-        """Flush anything pending and wait for every in-flight batch."""
+        """Flush anything pending and wait for every in-flight batch.
+
+        Loops until both the pending list and the in-flight set are
+        empty, so a request that parks *while* the final batch is being
+        awaited is flushed too — drain never returns with a caller
+        silently left hanging on an unarmed batch.
+        """
         loop = asyncio.get_running_loop()
+        while self._pending or self._inflight:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            if self._pending:
+                self._launch(loop, "drain")
+            if self._inflight:
+                await asyncio.gather(
+                    *tuple(self._inflight), return_exceptions=True
+                )
+
+    def fail_pending(self, exc: Optional[BaseException] = None) -> int:
+        """Fail every still-parked request instead of leaving it hung.
+
+        The shutdown path for callers that cannot ``await drain()`` (no
+        running loop — e.g. a service ``close()`` after its event loop
+        exited): cancels the deadline timer, detaches the pending list,
+        and cancels each parked future (or fails it with ``exc``).
+        Returns the number of requests failed; they are counted in
+        ``stats.cancelled``.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        if self._pending:
-            self._launch(loop, "drain")
-        while self._inflight:
-            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        batch, self._pending = self._pending, []
+        failed = 0
+        for item in batch:
+            if item.future.done():
+                continue
+            try:
+                if exc is not None:
+                    item.future.set_exception(exc)
+                else:
+                    item.future.cancel()
+            except RuntimeError:
+                # The owning loop is already closed; nobody is listening,
+                # but the request is detached either way.
+                pass
+            failed += 1
+        self.stats.cancelled += failed
+        return failed
 
 
 __all__ = ["BatcherStats", "MicroBatcher", "FlushFn"]

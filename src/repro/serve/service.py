@@ -34,6 +34,7 @@ The module also hosts the synthetic load generators
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -86,6 +87,12 @@ class ServiceConfig:
     ``max_workers`` sizes the thread-pool backend; ``max_tenants``
     caps admission; ``store_max_entries`` / ``store_max_bytes`` bound
     each tenant's oracle store.
+
+    ``request_timeout_s`` bounds each backend attempt (None = wait
+    forever, the pre-robustness behaviour); a timed-out attempt is
+    retried up to ``max_retries`` times with jittered exponential
+    backoff starting at ``retry_backoff_ms``.  Timeouts and retries are
+    surfaced as the ``timeouts`` / ``retries`` service counters.
     """
 
     max_batch: int = 64
@@ -96,6 +103,9 @@ class ServiceConfig:
     store_max_bytes: int = 512 * 2**20
     reservoir_capacity: int = 4096
     metrics_seed: int = 0
+    request_timeout_s: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff_ms: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -106,6 +116,12 @@ class ServiceConfig:
             raise ValueError("max_workers must be >= 1")
         if self.max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be >= 0")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -117,6 +133,9 @@ class ServiceConfig:
             "store_max_bytes": self.store_max_bytes,
             "reservoir_capacity": self.reservoir_capacity,
             "metrics_seed": self.metrics_seed,
+            "request_timeout_s": self.request_timeout_s,
+            "max_retries": self.max_retries,
+            "retry_backoff_ms": self.retry_backoff_ms,
         }
 
 
@@ -145,6 +164,13 @@ class OracleService:
         )
         self._admission_lock = threading.Lock()
         self._closed = False
+        # Deterministic jitter source for retry backoff (event-loop
+        # thread only); seeded so load tests replay identically.
+        self._jitter = random.Random(self.config.metrics_seed)
+        # Pre-seed the robustness counters so snapshots always carry
+        # them, even on services that never time out.
+        self.metrics.bump("timeouts", 0)
+        self.metrics.bump("retries", 0)
 
     # ------------------------------------------------------------------ #
     # Tenancy and warm-up
@@ -275,23 +301,11 @@ class OracleService:
     ) -> Any:
         if self._closed:
             raise RuntimeError("service is closed")
-        loop = asyncio.get_running_loop()
         start = time.perf_counter()
         try:
-            if batched:
-                result = await self._batcher(endpoint, tenant, handle).submit(
-                    payload
-                )
-            else:
-                results = await loop.run_in_executor(
-                    self._executor,
-                    self._execute,
-                    endpoint,
-                    tenant,
-                    handle,
-                    [payload],
-                )
-                result = results[0]
+            result = await self._request_with_retries(
+                endpoint, tenant, handle, payload, batched
+            )
         except Exception:
             self.metrics.record_request(
                 endpoint, time.perf_counter() - start, batched, error=True
@@ -301,6 +315,66 @@ class OracleService:
             endpoint, time.perf_counter() - start, batched
         )
         return result
+
+    async def _request_with_retries(
+        self,
+        endpoint: str,
+        tenant: str,
+        handle: str,
+        payload: Tuple,
+        batched: bool,
+    ) -> Any:
+        """One endpoint call under the configured timeout/retry policy.
+
+        Only *timeouts* are retried — a ``KeyError`` (evicted oracle) or
+        any backend exception is a real answer and re-raising it
+        immediately beats hammering a failing store.  The final timeout
+        propagates as ``asyncio.TimeoutError`` after ``max_retries``
+        re-attempts, each preceded by jittered exponential backoff.
+        """
+        timeout = self.config.request_timeout_s
+        attempt = 0
+        while True:
+            call = self._dispatch(endpoint, tenant, handle, payload, batched)
+            try:
+                if timeout is None:
+                    return await call
+                return await asyncio.wait_for(call, timeout)
+            except asyncio.TimeoutError:
+                self.metrics.bump("timeouts")
+                if attempt >= self.config.max_retries:
+                    raise
+                attempt += 1
+                self.metrics.bump("retries")
+                base = self.config.retry_backoff_ms / 1000.0
+                delay = base * (2 ** (attempt - 1))
+                delay *= 0.5 + self._jitter.random()  # jitter in [0.5, 1.5)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+
+    async def _dispatch(
+        self,
+        endpoint: str,
+        tenant: str,
+        handle: str,
+        payload: Tuple,
+        batched: bool,
+    ) -> Any:
+        """One attempt: through the coalescer or straight to the pool."""
+        if batched:
+            return await self._batcher(endpoint, tenant, handle).submit(
+                payload
+            )
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(
+            self._executor,
+            self._execute,
+            endpoint,
+            tenant,
+            handle,
+            [payload],
+        )
+        return results[0]
 
     def _batcher(
         self, endpoint: str, tenant: str, handle: str
@@ -371,9 +445,19 @@ class OracleService:
             await batcher.drain()
 
     def close(self) -> None:
-        """Shut the executor down; further requests raise."""
+        """Shut the executor down; further requests raise.
+
+        Requests still parked in a batcher (submitted but never
+        flushed — e.g. the owning event loop exited mid-window) are
+        failed via :meth:`MicroBatcher.fail_pending` rather than left
+        hanging forever; the count lands in ``cancelled_at_close``.
+        """
         if not self._closed:
             self._closed = True
+            for batcher in self._batchers.values():
+                failed = batcher.fail_pending()
+                if failed:
+                    self.metrics.bump("cancelled_at_close", failed)
             self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "OracleService":

@@ -244,3 +244,58 @@ class TestCommands:
         with pytest.raises(ValueError):
             main(["serve-bench", "--n", "24", "--levels", ",",
                   "--variant", "spanner-only"])
+
+
+class TestChaosCommand:
+    def test_list_prints_registry(self, capsys):
+        code = main(["chaos", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route-drop" in out
+        assert "bellman-ford-drop" in out
+
+    def test_single_scenario_with_overrides(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--scenario",
+                "route-drop",
+                "--n",
+                "16",
+                "--seed",
+                "1",
+                "--set",
+                "drop=0.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route-drop" in out
+
+    def test_json_artifact_round_trips(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--scenario",
+                "route-crash",
+                "--n",
+                "16",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["scenario"] == "route-crash"
+        assert data["n"] == 16
+        assert "score" in data and "plan" in data
+
+    def test_run_all_scenarios(self, capsys):
+        code = main(["chaos", "--n", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("route-drop", "route-crash", "route-corrupt"):
+            assert name in out

@@ -1,0 +1,376 @@
+"""Tests for the fault-injection pipeline (repro.cclique.faults).
+
+Covers the PR-7 acceptance properties: an empty plan is bit-identical
+to the unfaulted engine, injection is deterministic in (plan, seed),
+each fault kind does what its spec says, the ledger stays byte-bounded,
+and the resilient routing mode recovers delivery under loss/crashes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cclique import (
+    ArrayClique,
+    BandwidthDegrade,
+    FaultPlan,
+    FaultTrace,
+    InvalidNodeError,
+    LinkDrop,
+    MessageBatch,
+    MessageDelay,
+    NodeCrash,
+    PayloadCorrupt,
+    route_batch_two_phase,
+)
+from repro.cclique.faults import FaultRound
+from repro.cclique.trace import TraceRecorder
+
+
+def full_load_traffic(n, seed, loads=3):
+    """Seeded all-pairs-ish traffic: ``loads`` permutations per node."""
+    rng = np.random.default_rng(seed)
+    src = np.tile(np.arange(n, dtype=np.int64), loads)
+    dst = np.concatenate([rng.permutation(n) for _ in range(loads)])
+    payload = np.arange(loads * n, dtype=np.float64).reshape(-1, 1) + 0.25
+    return src, dst, payload
+
+
+def run_and_collect(clique, src, dst, payload):
+    clique.stage(src, dst, payload)
+    rounds = clique.drain()
+    inboxes = []
+    for node in range(clique.n):
+        view = clique.inbox_arrays(node)
+        order = np.lexsort((view.payload[:, 0], view.src))
+        inboxes.append((view.src[order], view.payload[order]))
+    return rounds, inboxes
+
+
+class TestSpecValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            LinkDrop(probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkDrop(probability=1.5)
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError):
+            LinkDrop(probability=0.5, from_round=3, until_round=3)
+
+    def test_delay_and_bit_ranges(self):
+        with pytest.raises(ValueError):
+            MessageDelay(probability=0.5, max_delay=0)
+        with pytest.raises(ValueError):
+            PayloadCorrupt(probability=0.5, bit=64)
+        with pytest.raises(ValueError):
+            BandwidthDegrade(capacity_words=-1)
+        with pytest.raises(ValueError):
+            NodeCrash(node=-1)
+
+    def test_plan_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            FaultPlan(specs=("not a spec",))
+
+    def test_activate_validates_node_ids(self):
+        clique = ArrayClique(4, bandwidth_words=2, strict=False)
+        with pytest.raises(InvalidNodeError):
+            clique.attach_faults(FaultPlan(specs=(NodeCrash(node=7),)))
+        with pytest.raises(InvalidNodeError):
+            clique.attach_faults(
+                FaultPlan(specs=(LinkDrop(probability=0.5, src=9),))
+            )
+
+    def test_plan_describe_is_json_safe(self):
+        import json
+
+        plan = FaultPlan(
+            specs=(NodeCrash(node=1), LinkDrop(probability=0.25)), seed=7
+        )
+        text = json.dumps(plan.describe())
+        assert "node-crash" in text and "link-drop" in text
+
+
+class TestEmptyPlanIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_bit_identical_to_unfaulted_engine(self, seed):
+        n = 16
+        src, dst, payload = full_load_traffic(n, seed)
+
+        plain = ArrayClique(n, bandwidth_words=1, strict=False)
+        faulted = ArrayClique(n, bandwidth_words=1, strict=False)
+        faulted.attach_faults(FaultPlan())
+
+        rounds_a, inbox_a = run_and_collect(plain, src, dst, payload)
+        rounds_b, inbox_b = run_and_collect(faulted, src, dst, payload)
+
+        assert rounds_a == rounds_b
+        assert plain.spill_rounds == faulted.spill_rounds
+        assert plain.messages_delivered == faulted.messages_delivered
+        assert plain.words_delivered == faulted.words_delivered
+        for (src_a, pay_a), (src_b, pay_b) in zip(inbox_a, inbox_b):
+            np.testing.assert_array_equal(src_a, src_b)
+            np.testing.assert_array_equal(pay_a, pay_b)
+
+    def test_empty_plan_trace_records_clean_rounds(self):
+        n = 8
+        clique = ArrayClique(n, bandwidth_words=1, strict=False)
+        trace = clique.attach_faults(FaultPlan())
+        src, dst, payload = full_load_traffic(n, 0)
+        clique.stage(src, dst, payload)
+        clique.drain()
+        assert trace.total_injected == 0
+        assert trace.rounds_seen == clique.round_index
+
+
+class TestDeterminism:
+    def plan(self, seed):
+        return FaultPlan(
+            specs=(
+                LinkDrop(probability=0.2),
+                MessageDelay(probability=0.1, max_delay=2),
+                PayloadCorrupt(probability=0.1),
+            ),
+            seed=seed,
+        )
+
+    def run_once(self, plan, traffic_seed=3):
+        n = 16
+        clique = ArrayClique(n, bandwidth_words=1, strict=False)
+        trace = clique.attach_faults(plan)
+        src, dst, payload = full_load_traffic(n, traffic_seed)
+        clique.stage(src, dst, payload)
+        clique.drain(max_rounds=500)
+        return trace.signature()
+
+    def test_same_seed_same_trace(self):
+        sig_a = self.run_once(self.plan(11))
+        sig_b = self.run_once(self.plan(11))
+        assert sig_a == sig_b
+
+    def test_different_seed_different_trace(self):
+        sig_a = self.run_once(self.plan(11))
+        sig_b = self.run_once(self.plan(12))
+        assert sig_a != sig_b
+
+
+class TestFaultKinds:
+    def test_crash_silences_node(self):
+        n = 8
+        crash = 3
+        clique = ArrayClique(n, bandwidth_words=1, strict=False)
+        trace = clique.attach_faults(
+            FaultPlan(specs=(NodeCrash(node=crash, at_round=0),))
+        )
+        src, dst, payload = full_load_traffic(n, 5)
+        clique.stage(src, dst, payload)
+        clique.drain()
+        for node in range(n):
+            view = clique.inbox_arrays(node)
+            if node == crash:
+                assert len(view) == 0
+            else:
+                assert not np.any(view.src == crash)
+        expected = int(np.sum((src == crash) | (dst == crash)))
+        assert trace.totals["crashed"] == expected
+
+    def test_link_drop_scoped_to_one_link(self):
+        n = 6
+        clique = ArrayClique(n, bandwidth_words=1, strict=False)
+        trace = clique.attach_faults(
+            FaultPlan(specs=(LinkDrop(probability=1.0, src=0, dst=1),))
+        )
+        src = np.array([0, 0, 2], dtype=np.int64)
+        dst = np.array([1, 2, 1], dtype=np.int64)
+        clique.stage(src, dst, np.array([[1.0], [2.0], [3.0]]))
+        clique.drain()
+        assert len(clique.inbox_arrays(2)) == 1
+        view = clique.inbox_arrays(1)
+        np.testing.assert_array_equal(view.src, [2])  # 0->1 dropped
+        assert trace.totals["dropped"] == 1
+
+    def test_delay_defers_by_exactly_one_round(self):
+        n = 4
+        clique = ArrayClique(n, bandwidth_words=1, strict=False)
+        trace = clique.attach_faults(
+            FaultPlan(
+                # Window [0, 1): the release at round 1 is not re-delayed.
+                specs=(
+                    MessageDelay(
+                        probability=1.0, max_delay=1, until_round=1
+                    ),
+                )
+            )
+        )
+        clique.stage(0, 1, np.array([[9.0]]))
+        clique.step()
+        assert len(clique.inbox_arrays(1, clear=False)) == 0
+        assert clique.pending_messages() == 1  # deferred rows count
+        clique.step()
+        assert len(clique.inbox_arrays(1)) == 1
+        assert trace.totals["delayed"] == 1
+        assert trace.totals["released"] == 1
+
+    def test_degrade_window_blocks_then_delivers(self):
+        n = 4
+        clique = ArrayClique(n, bandwidth_words=4, strict=False)
+        clique.attach_faults(
+            FaultPlan(
+                specs=(
+                    BandwidthDegrade(
+                        capacity_words=1, from_round=0, until_round=2
+                    ),
+                )
+            )
+        )
+        clique.stage(0, 1, np.array([[1.0, 2.0, 3.0]]))  # 3 words > cap 1
+        clique.step()
+        assert len(clique.inbox_arrays(1, clear=False)) == 0
+        clique.step()  # still inside window
+        assert len(clique.inbox_arrays(1, clear=False)) == 0
+        clique.step()  # window closed: full bandwidth again
+        assert len(clique.inbox_arrays(1)) == 1
+        assert clique.spill_rounds == 2
+
+    def test_corrupt_flips_pinned_bit_outside_prefix(self):
+        n = 4
+        clique = ArrayClique(n, bandwidth_words=2, strict=False)
+        trace = clique.attach_faults(
+            FaultPlan(
+                specs=(
+                    PayloadCorrupt(probability=1.0, bit=0, protect_prefix=1),
+                )
+            )
+        )
+        original = np.array([[5.0, 7.0]])
+        clique.stage(0, 1, original)
+        clique.step()
+        view = clique.inbox_arrays(1)
+        # Column 0 is protected; column 1 had mantissa bit 0 flipped.
+        assert view.payload[0, 0] == 5.0
+        assert view.payload[0, 1] != 7.0
+        expected = np.array([7.0])
+        expected.view(np.int64)[0] ^= 1
+        assert view.payload[0, 1] == expected[0]
+        assert trace.totals["corrupted"] == 1
+
+    def test_corrupt_is_deterministic(self):
+        def run():
+            n = 8
+            clique = ArrayClique(n, bandwidth_words=1, strict=False)
+            clique.attach_faults(
+                FaultPlan(specs=(PayloadCorrupt(probability=0.5),), seed=4)
+            )
+            src, dst, payload = full_load_traffic(n, 9)
+            clique.stage(src, dst, payload)
+            clique.drain()
+            return np.concatenate(
+                [clique.inbox_arrays(v).payload.ravel() for v in range(n)]
+            )
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestFaultTrace:
+    def test_ring_is_byte_bounded_with_exact_totals(self):
+        trace = FaultTrace(max_bytes=5 * 112)  # room for 5 records
+        for r in range(50):
+            trace.record(FaultRound(round_index=r, dropped=2))
+        assert len(trace.records) == 5
+        assert trace.dropped_records == 45
+        assert trace.rounds_seen == 50
+        assert trace.totals["dropped"] == 100
+        assert trace.total_injected == 100
+        assert trace.summary()["retained_rounds"] == 5
+
+    def test_recorder_integration_carries_fault_rounds(self):
+        n = 6
+        clique = ArrayClique(n, bandwidth_words=1, strict=False)
+        clique.attach_faults(
+            FaultPlan(specs=(LinkDrop(probability=1.0, src=0, dst=1),))
+        )
+        recorder = TraceRecorder(clique, record_faults=True)
+        src = np.array([0, 2], dtype=np.int64)
+        dst = np.array([1, 3], dtype=np.int64)
+        clique.stage(src, dst, np.ones((2, 1)))
+        clique.step()
+        recorder.snapshot()
+        snap = recorder.snapshots[-1]
+        assert snap.faults is not None
+        assert snap.faults.dropped == 1
+
+
+class TestResilientRouting:
+    def make_batch(self, n, seed=0, loads=2):
+        src, dst, payload = full_load_traffic(n, seed, loads=loads)
+        return MessageBatch(src=src, dst=dst, payload=payload)
+
+    def test_retries_recover_dropped_rows(self):
+        n = 24
+        batch = self.make_batch(n)
+        plan = FaultPlan(specs=(LinkDrop(probability=0.3),), seed=1)
+
+        lossy_delivery, lossy = route_batch_two_phase(
+            batch, n, faults=plan, max_retries=0
+        )
+        rec_delivery, recovered = route_batch_two_phase(
+            batch, n, faults=plan, max_retries=6
+        )
+        assert len(lossy_delivery) < len(batch)
+        assert len(rec_delivery) > len(lossy_delivery)
+        assert recovered.undelivered < lossy.undelivered
+        assert recovered.retries > 0
+        assert recovered.fault_totals["dropped"] > 0
+
+    def test_resilient_mode_is_deterministic(self):
+        n = 16
+        batch = self.make_batch(n)
+        plan = FaultPlan(specs=(LinkDrop(probability=0.25),), seed=2)
+        runs = [
+            route_batch_two_phase(batch, n, faults=plan, max_retries=4)
+            for _ in range(2)
+        ]
+        (del_a, stats_a), (del_b, stats_b) = runs
+        assert stats_a.undelivered == stats_b.undelivered
+        assert stats_a.rounds == stats_b.rounds
+        np.testing.assert_array_equal(del_a.dst, del_b.dst)
+        np.testing.assert_array_equal(del_a.payload, del_b.payload)
+
+    def test_crash_replanning_beats_static_relays(self):
+        n = 20
+        batch = self.make_batch(n)
+        from repro.cclique.routing import two_phase_relays
+
+        relay = two_phase_relays(batch.src, batch.dst, n)
+        crash = int(np.bincount(relay, minlength=n).argmax())
+        plan = FaultPlan(specs=(NodeCrash(node=crash, at_round=0),))
+
+        static_delivery, _ = route_batch_two_phase(
+            batch, n, faults=plan, max_retries=0, avoid_crashed=False
+        )
+        replanned_delivery, replanned = route_batch_two_phase(
+            batch, n, faults=plan, max_retries=2, avoid_crashed=True
+        )
+        deliverable = int(np.sum((batch.src != crash) & (batch.dst != crash)))
+        assert len(replanned_delivery) > len(static_delivery)
+        assert len(replanned_delivery) == deliverable
+        assert replanned.undelivered == len(batch) - deliverable
+
+    def test_zero_fault_resilient_path_is_perfect(self):
+        n = 12
+        batch = self.make_batch(n)
+        plain, plain_stats = route_batch_two_phase(batch, n)
+        resil, resil_stats = route_batch_two_phase(
+            batch, n, faults=FaultPlan(), max_retries=3
+        )
+        assert len(resil) == len(batch) and resil_stats.undelivered == 0
+        assert resil_stats.retries == 0
+        assert len(plain) == len(batch)
+        # Same rows reach the same destinations in both modes.
+        order_a = np.lexsort((plain.payload[:, 0], plain.dst))
+        order_b = np.lexsort((resil.payload[:, 0], resil.dst))
+        np.testing.assert_array_equal(
+            plain.dst[order_a], resil.dst[order_b]
+        )
+        np.testing.assert_array_equal(
+            plain.payload[order_a], resil.payload[order_b]
+        )

@@ -612,3 +612,160 @@ class TestLoadGenerators:
             asyncio.run(run_closed_loop(request, 5, 0))
         with pytest.raises(ValueError):
             asyncio.run(run_open_loop(request, 5, 0.0))
+
+
+# ---------------------------------------------------------------------- #
+# Robustness: request timeouts, bounded retry, shutdown fan-out (PR 7)
+# ---------------------------------------------------------------------- #
+
+
+class TestTimeoutRetry:
+    def warm_service(self, **overrides):
+        graph, estimate = build_case(11)
+        service = small_service(**overrides)
+        handle = service.warm(graph, variant="", seed=0, result=estimate)
+        return service, handle
+
+    def test_transient_slowness_is_retried_to_success(self):
+        # Workers stay parked on the timed-out sleep (cancelling the
+        # awaiting future does not interrupt the thread), so the pool
+        # needs headroom for the retry to start promptly.
+        service, handle = self.warm_service(
+            request_timeout_s=0.1,
+            max_retries=3,
+            retry_backoff_ms=1.0,
+            max_workers=4,
+        )
+        real_execute = service._execute
+        calls = {"count": 0}
+
+        def flaky(endpoint, tenant, oracle_handle, payloads):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                time.sleep(0.5)  # blow through the per-attempt timeout
+            return real_execute(endpoint, tenant, oracle_handle, payloads)
+
+        service._execute = flaky
+        with service:
+            value = asyncio.run(service.distance(handle, 0, 1, batched=False))
+        assert np.isfinite(value) or value == float("inf")
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["timeouts"] == 1
+        assert counters["retries"] == 1
+
+    def test_final_timeout_propagates_after_budget(self):
+        service, handle = self.warm_service(
+            request_timeout_s=0.02, max_retries=1, retry_backoff_ms=1.0
+        )
+        real_execute = service._execute
+
+        def always_slow(endpoint, tenant, oracle_handle, payloads):
+            time.sleep(0.25)
+            return real_execute(endpoint, tenant, oracle_handle, payloads)
+
+        service._execute = always_slow
+        with service:
+            with pytest.raises(asyncio.TimeoutError):
+                asyncio.run(service.distance(handle, 0, 1, batched=False))
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["timeouts"] == 2  # initial attempt + one retry
+        assert counters["retries"] == 1
+        endpoints = service.metrics.snapshot()["endpoints"]
+        assert endpoints["distance/single"]["errors"] == 1
+
+    def test_evicted_oracle_is_not_retried(self):
+        service, handle = self.warm_service(
+            request_timeout_s=1.0, max_retries=5, retry_backoff_ms=1.0
+        )
+        with service:
+            with pytest.raises(KeyError):
+                asyncio.run(
+                    service.distance("no:such:handle", 0, 1, batched=False)
+                )
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["retries"] == 0
+
+    def test_counters_pre_seeded_on_clean_service(self):
+        service = small_service()
+        with service:
+            counters = service.metrics.snapshot()["counters"]
+        assert counters["timeouts"] == 0
+        assert counters["retries"] == 0
+
+    def test_timeout_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(request_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(retry_backoff_ms=-1.0)
+        config = ServiceConfig(request_timeout_s=0.5, max_retries=2)
+        assert config.to_dict()["request_timeout_s"] == 0.5
+        assert config.to_dict()["max_retries"] == 2
+
+
+class TestShutdownFanout:
+    def test_fail_pending_cancels_parked_futures(self):
+        batcher = MicroBatcher(lambda items: items, max_batch=100,
+                               max_delay_ms=60_000)
+
+        async def main():
+            task = asyncio.ensure_future(batcher.submit("x"))
+            await asyncio.sleep(0)  # parked, deadline far away
+            assert batcher.fail_pending() == 1
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(asyncio.wait_for(main(), timeout=5))
+        assert batcher.stats.cancelled == 1
+        assert batcher.pending == 0
+
+    def test_fail_pending_with_explicit_exception(self):
+        batcher = MicroBatcher(lambda items: items, max_batch=100,
+                               max_delay_ms=60_000)
+
+        async def main():
+            task = asyncio.ensure_future(batcher.submit("x"))
+            await asyncio.sleep(0)
+            batcher.fail_pending(RuntimeError("shutting down"))
+            with pytest.raises(RuntimeError, match="shutting down"):
+                await task
+
+        asyncio.run(asyncio.wait_for(main(), timeout=5))
+
+    def test_close_fails_requests_parked_at_close_time(self):
+        graph, estimate = build_case(12)
+        # A window so long the deadline never fires during the test.
+        service = small_service(max_batch=64, max_delay_ms=60_000.0)
+        handle = service.warm(graph, variant="", seed=0, result=estimate)
+
+        async def main():
+            task = asyncio.ensure_future(service.distance(handle, 0, 1))
+            await asyncio.sleep(0)  # parked in the batcher, never flushed
+            service.close()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(asyncio.wait_for(main(), timeout=5))
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["cancelled_at_close"] == 1
+
+    def test_drain_flushes_request_parked_during_final_flush(self):
+        # Regression: a submit that parks while drain() awaits the last
+        # in-flight batch must still be flushed before drain returns.
+        batcher = MicroBatcher(lambda items: items, max_batch=100,
+                               max_delay_ms=60_000)
+
+        async def main():
+            first = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0)
+            drainer = asyncio.ensure_future(batcher.drain())
+            await asyncio.sleep(0)  # drain launched the first flush
+            second = asyncio.ensure_future(batcher.submit("b"))
+            await drainer
+            assert await first == "a"
+            assert await second == "b"
+
+        asyncio.run(asyncio.wait_for(main(), timeout=5))
+        assert batcher.stats.completed == 2
+        assert batcher.pending == 0
