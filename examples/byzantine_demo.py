@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Byzantine-hardening quickstart: checksums, erasure coding, pipeline chaos.
+
+Three demonstrations of the integrity and recovery stack (DESIGN.md
+section 12):
+
+1. checksum screening — the same adversarial bit-flip plan with and
+   without the integrity layer: silently poisoned payloads vs a 100%
+   detection rate and a clean inbox;
+2. erasure-coded recovery vs bounded retry — the same lossy plan healed
+   two ways, with the round costs side by side (parity reconstructs
+   holes without waiting a retransmission cycle);
+3. the full pipeline — `approximate_apsp` with the input graph
+   disseminated over a lossy fabric, degraded and then recovered, with
+   the stretch degradation each fabric produced.
+
+Run:  python examples/byzantine_demo.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.cclique import (
+    FaultPlan,
+    IntegrityPolicy,
+    LinkDrop,
+    MessageBatch,
+    PayloadCorrupt,
+    route_batch_two_phase,
+)
+from repro.chaos import run_scenario, stretch_degradation
+from repro.core.apsp import approximate_apsp
+from repro.graphs.generators import erdos_renyi
+
+
+def full_load(n: int, seed: int, loads: int = 2) -> MessageBatch:
+    """`loads` messages out of (and into) every node, unique payloads."""
+    rng = np.random.default_rng(seed)
+    src = np.tile(np.arange(n, dtype=np.int64), loads)
+    dst = np.concatenate([rng.permutation(n) for _ in range(loads)])
+    payload = np.arange(loads * n, dtype=np.float64).reshape(-1, 1) + 0.5
+    return MessageBatch(src=src, dst=dst, payload=payload)
+
+
+def demo_checksums(n: int) -> None:
+    print(f"=== 1. Checksum screening of corrupted payloads (n={n}) ===")
+    batch = full_load(n, seed=1)
+    plan = FaultPlan(
+        specs=(PayloadCorrupt(probability=0.2, protect_prefix=2),), seed=7
+    )
+    sent = set(batch.payload[:, 0].tolist())
+
+    poisoned, p_stats = route_batch_two_phase(
+        batch, n, faults=plan, max_retries=0
+    )
+    bad = sum(1 for w in poisoned.payload[:, 0].tolist() if w not in sent)
+    totals = p_stats.fault_totals or {}
+    print(f"no integrity : {len(poisoned)}/{len(batch)} delivered, "
+          f"{totals.get('corrupted', 0)} corrupted, "
+          f"{totals.get('detected', 0)} detected — "
+          f"{bad} poisoned payloads reached inboxes")
+
+    healed, h_stats = route_batch_two_phase(
+        batch, n, faults=plan, max_retries=5, integrity=IntegrityPolicy()
+    )
+    totals = h_stats.fault_totals or {}
+    bad = sum(1 for w in healed.payload[:, 0].tolist() if w not in sent)
+    rate = totals["detected"] / totals["corrupted"] if totals.get(
+        "corrupted"
+    ) else 1.0
+    print(f"with checksums: {len(healed)}/{len(batch)} delivered, "
+          f"{totals.get('corrupted', 0)} corrupted, "
+          f"{totals.get('detected', 0)} detected "
+          f"(rate {rate:.0%}) — {bad} poisoned payloads\n")
+
+
+def demo_erasure(n: int) -> None:
+    print(f"=== 2. Erasure-coded recovery vs bounded retry (n={n}) ===")
+    batch = full_load(n, seed=0)
+    plan = FaultPlan(specs=(LinkDrop(probability=0.1),), seed=0)
+    m = len(batch)
+
+    retried, r_stats = route_batch_two_phase(
+        batch, n, bandwidth_words=4, faults=plan, max_retries=6
+    )
+    print(f"bounded retry: {len(retried)}/{m} delivered in "
+          f"{r_stats.rounds} rounds ({r_stats.retries} retries)")
+
+    coded, e_stats = route_batch_two_phase(
+        batch, n, bandwidth_words=4, faults=plan, max_retries=6,
+        recovery="erasure",
+    )
+    print(f"erasure coded: {len(coded)}/{m} delivered in "
+          f"{e_stats.rounds} rounds ({e_stats.retries} retries, "
+          f"{e_stats.reconstructed} rows reconstructed from parity, "
+          f"{e_stats.parity_words} parity words shipped)")
+    print("round saving :",
+          r_stats.rounds - e_stats.rounds, "rounds\n")
+
+
+def demo_pipeline(n: int) -> None:
+    print(f"=== 3. Full pipeline on a lossy fabric (n={n}) ===")
+    rng = np.random.default_rng(0)
+    graph = erdos_renyi(n, min(1.0, 6.0 / n), rng)
+    plan = FaultPlan(specs=(LinkDrop(probability=0.12),), seed=5)
+
+    clean = approximate_apsp(graph, np.random.default_rng(0))
+    degraded = approximate_apsp(graph, np.random.default_rng(0), faults=plan)
+    recovered = approximate_apsp(
+        graph, np.random.default_rng(0), faults=plan,
+        max_retries=4, recovery="erasure",
+    )
+    d_meta = degraded.meta["dissemination"]
+    r_meta = recovered.meta["dissemination"]
+    d_stretch = stretch_degradation(clean.estimate, degraded.estimate)
+    r_stretch = stretch_degradation(clean.estimate, recovered.estimate)
+    print(f"degraded : {d_meta['delivered_edges']}/"
+          f"{d_meta['attempted_edges']} edges survived, mean stretch "
+          f"blow-up {d_stretch['mean_ratio']:.3f}x "
+          f"({d_stretch['disconnected_pairs']} pairs disconnected)")
+    print(f"recovered: {r_meta['delivered_edges']}/"
+          f"{r_meta['attempted_edges']} edges "
+          f"({r_meta['reconstructed']} reconstructed), mean stretch "
+          f"blow-up {r_stretch['mean_ratio']:.3f}x")
+
+    report = run_scenario("byzantine-corrupt", n=max(16, n // 2), seed=0)
+    print(f"scored scenario 'byzantine-corrupt': detection "
+          f"{report.score['detection_rate']:.1f} with checksums vs "
+          f"{report.score['detection_rate_baseline']:.1f} baseline")
+    print("try: python -m repro chaos --scenario pipeline-degrade")
+
+
+def main(n: int = 48) -> None:
+    demo_checksums(n)
+    demo_erasure(n)
+    demo_pipeline(n)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 48)

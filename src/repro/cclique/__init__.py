@@ -41,6 +41,12 @@ from .faults import (
     NodeCrash,
     PayloadCorrupt,
 )
+from .integrity import (
+    IntegrityPolicy,
+    IntegrityState,
+    payload_checksums,
+    verify_checksums,
+)
 from .message import Envelope, Message, word_bits
 from .model import NodeProgram, SimulatedClique
 from .reference import ObjectSimulatedClique, route_two_phase_reference
@@ -73,6 +79,8 @@ __all__ = [
     "NodeCrash",
     "PayloadCorrupt",
     "InboxView",
+    "IntegrityPolicy",
+    "IntegrityState",
     "InvalidNodeError",
     "LedgerEntry",
     "LoadPreconditionError",
@@ -91,6 +99,7 @@ __all__ = [
     "all_to_all_one_word",
     "broadcast_words",
     "gather_one_word",
+    "payload_checksums",
     "route_batch_randomized",
     "route_batch_two_phase",
     "route_direct",
@@ -99,5 +108,6 @@ __all__ = [
     "route_two_phase_reference",
     "two_phase_relays",
     "validate_loads",
+    "verify_checksums",
     "word_bits",
 ]

@@ -40,6 +40,7 @@ from .errors import (
     MessageTooLargeError,
     ProtocolError,
 )
+from .integrity import NO_CHECK, as_integrity
 from .message import Message, word_bits
 
 #: ref column value meaning "no object attachment".
@@ -84,6 +85,7 @@ class _Rows:
     payload: np.ndarray  # float64 (m, w) — numeric payload words
     tag: np.ndarray  # int64 (m,) — interned tag ids
     ref: np.ndarray  # int64 (m,) — object attachment ids, NO_REF if none
+    check: np.ndarray  # int64 (m,) — checksum words, NO_CHECK if none
 
     def __len__(self) -> int:
         return len(self.src)
@@ -109,6 +111,7 @@ def _concat_rows(chunks: Sequence[_Rows]) -> _Rows:
         payload=np.concatenate(pads) if width else np.empty((sum(map(len, chunks)), 0)),
         tag=np.concatenate([c.tag for c in chunks]),
         ref=np.concatenate([c.ref for c in chunks]),
+        check=np.concatenate([c.check for c in chunks]),
     )
 
 
@@ -120,6 +123,7 @@ def _take(rows: _Rows, index: np.ndarray) -> _Rows:
         payload=rows.payload[index],
         tag=rows.tag[index],
         ref=rows.ref[index],
+        check=rows.check[index],
     )
 
 
@@ -183,6 +187,9 @@ class ArrayClique:
         #: The most recent round's injection record (``FaultRound``) —
         #: the hook the trace layer uses when ``record_faults`` is on.
         self.last_faults: Optional[Any] = None
+        #: Active integrity state (see :mod:`repro.cclique.integrity`),
+        #: or None when rows ride unchecked.
+        self._integrity: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Fault injection
@@ -208,6 +215,29 @@ class ArrayClique:
         active = plan.activate(self) if hasattr(plan, "activate") else plan
         self._faults = active
         return active.trace
+
+    # ------------------------------------------------------------------ #
+    # Integrity (checksum-verified payloads)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def integrity(self) -> Optional[Any]:
+        """The active integrity state, or None when running unchecked."""
+        return self._integrity
+
+    def attach_integrity(self, policy: Optional[Any]) -> Optional[Any]:
+        """Attach an ``IntegrityPolicy`` (or ``True`` for the default).
+
+        Returns the activated ``IntegrityState`` (None when detaching).
+        From the next :meth:`stage` on, every row carries a checksum
+        word; at delivery, rows whose payload no longer matches are
+        quarantined instead of delivered, counted as ``detected`` in the
+        attached fault ledger, and surfaced through the state's
+        re-request buffer.  With no corruption in flight the engine is
+        bit-identical to an unchecked one.
+        """
+        self._integrity = as_integrity(policy)
+        return self._integrity
 
     # ------------------------------------------------------------------ #
     # Tag / ref interning
@@ -333,6 +363,10 @@ class ArrayClique:
         else:
             ref_col = np.full(m, NO_REF, dtype=np.int64)
 
+        if self._integrity is not None:
+            check_col = self._integrity.checksums(pay)
+        else:
+            check_col = np.full(m, NO_CHECK, dtype=np.int64)
         self._staged.append(
             _Rows(
                 src=src_col,
@@ -341,6 +375,7 @@ class ArrayClique:
                 payload=pay,
                 tag=np.full(m, self.tag_id(tag), dtype=np.int64),
                 ref=ref_col,
+                check=check_col,
             )
         )
         self._staged_count += m
@@ -399,6 +434,10 @@ class ArrayClique:
         delivered = _take(rows, np.flatnonzero(deliver))
         if faults is not None:
             faults.corrupt(delivered, self.round_index)
+        if self._integrity is not None and len(delivered):
+            delivered, quarantined = self._integrity.screen(delivered)
+            if quarantined is not None and faults is not None:
+                faults.record_detected(*quarantined)
         self._deliver(delivered)
         self.messages_delivered += len(delivered)
         self.words_delivered += int(delivered.words.sum())

@@ -37,6 +37,8 @@ engine is bit-identical to the plain one in that case.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import deque
 from dataclasses import astuple, dataclass, field, fields
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
@@ -211,10 +213,15 @@ class FaultRound:
     released: int = 0
     throttled: int = 0
     corrupted: int = 0
+    detected: int = 0
 
     @property
     def injected(self) -> int:
-        """Rows touched by any fault this round (releases excluded)."""
+        """Rows touched by any fault this round (releases excluded).
+
+        ``detected`` is excluded too: a detected row is a corrupted row
+        the integrity layer caught, already counted under ``corrupted``.
+        """
         return (
             self.crashed + self.dropped + self.delayed
             + self.throttled + self.corrupted
@@ -222,7 +229,10 @@ class FaultRound:
 
 
 #: The cumulative-counter keys a :class:`FaultTrace` maintains.
-_TOTAL_KEYS = ("crashed", "dropped", "delayed", "released", "throttled", "corrupted")
+_TOTAL_KEYS = (
+    "crashed", "dropped", "delayed", "released", "throttled",
+    "corrupted", "detected",
+)
 
 
 class FaultTrace:
@@ -242,6 +252,11 @@ class FaultTrace:
         self.bytes_used = 0
         self.rounds_seen = 0
         self.totals: Dict[str, int] = {key: 0 for key in _TOTAL_KEYS}
+        #: Per-node loss ledger ``(n,)`` — drops and detected corruptions
+        #: charged to both endpoints.  Set by :class:`ActiveFaults` (the
+        #: trace alone does not know ``n``); the adaptive relay replanner
+        #: consults it to steer retransmissions away from lossy nodes.
+        self.node_loss: Optional[np.ndarray] = None
 
     def record(self, fault_round: FaultRound) -> None:
         self.records.append(fault_round)
@@ -261,7 +276,11 @@ class FaultTrace:
 
     @property
     def total_injected(self) -> int:
-        return sum(self.totals[key] for key in _TOTAL_KEYS if key != "released")
+        return sum(
+            self.totals[key]
+            for key in _TOTAL_KEYS
+            if key not in ("released", "detected")
+        )
 
     def signature(self) -> Tuple[Tuple[int, ...], ...]:
         """Hashable view of the retained records (determinism tests)."""
@@ -308,7 +327,27 @@ class FaultPlan:
             for spec_field in fields(spec):
                 entry[spec_field.name] = getattr(spec, spec_field.name)
             described.append(entry)
-        return {"seed": self.seed, "specs": described}
+        payload = {"seed": self.seed, "specs": described}
+        return {**payload, "signature": self.signature()}
+
+    def signature(self) -> str:
+        """Content hash of the plan (seed + specs) for provenance.
+
+        Stable across processes and spec ordering-preserving: two plans
+        with the same seed and the same specs in the same order share a
+        signature, so a ``ChaosReport`` can be traced back to the exact
+        fault configuration that produced it.
+        """
+        described = []
+        for spec in self.specs:
+            entry: Dict[str, Any] = {"kind": _SPEC_KINDS[type(spec)]}
+            for spec_field in fields(spec):
+                entry[spec_field.name] = getattr(spec, spec_field.name)
+            described.append(entry)
+        blob = json.dumps(
+            {"seed": self.seed, "specs": described}, sort_keys=True
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     def activate(self, clique: ArrayClique) -> "ActiveFaults":
         """Compile the plan against one engine's node count."""
@@ -340,6 +379,7 @@ class ActiveFaults:
         self.plan = plan
         self.n = n
         self.trace = FaultTrace()
+        self.trace.node_loss = np.zeros(n, dtype=np.int64)
         self._crash_round = np.full(n, NEVER, dtype=np.int64)
         self._drops: List[LinkDrop] = []
         self._delays: List[MessageDelay] = []
@@ -420,6 +460,7 @@ class ActiveFaults:
             if len(dropped):
                 self._counts["dropped"] += len(dropped)
                 keep[dropped] = False
+                self._charge_loss(rows.src[dropped], rows.dst[dropped])
         for spec in self._delays:
             if spec.probability <= 0.0 or not _window_active(spec, round_index):
                 continue
@@ -490,6 +531,27 @@ class ActiveFaults:
             as_bits = rows.payload.view(np.int64)
             as_bits[chosen, columns] ^= np.int64(1) << bits.astype(np.int64)
             self._counts["corrupted"] += len(chosen)
+
+    def _charge_loss(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Charge lost rows to both endpoints in the per-node loss ledger."""
+        if self.trace.node_loss is None:
+            return
+        np.add.at(self.trace.node_loss, src, 1)
+        np.add.at(self.trace.node_loss, dst, 1)
+
+    def record_detected(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Ledger hook for the integrity layer's quarantined rows.
+
+        Called by the engine when :class:`~repro.cclique.integrity.\
+IntegrityState` refuses delivery of corrupted rows; counts them under
+        ``detected`` and charges the loss ledger (a quarantined row is a
+        lost row from the protocol's perspective).
+        """
+        count = len(src)
+        if not count:
+            return
+        self._counts["detected"] += count
+        self._charge_loss(np.asarray(src), np.asarray(dst))
 
     def deferred_count(self) -> int:
         """Rows held back by delay specs, awaiting release."""

@@ -1,0 +1,242 @@
+"""Checksum-verified payloads: the integrity layer of the clique engine.
+
+PR 7's fault pipeline made payload corruption *survivable* — protocols
+keep running on flipped bits — but nothing *detected* it: a corrupted
+row was delivered like any other and poisoned whatever consumed it.
+This module closes that gap with a vectorized checksum word carried
+alongside every staged payload row:
+
+* :func:`payload_checksums` — a seeded multiply-xorshift (splitmix64
+  finalizer) over the int64 bit view of each payload word, salted by
+  column position, XOR-folded to a 52-bit word.  Any single bit flip in
+  any word (header prefix included — the checksum protects the whole
+  row, not just the data suffix) changes the checksum except with
+  probability ``2**-52``; swapped words are caught by the column salt.
+  NaN cells are excluded on both sides, so the cross-chunk NaN padding
+  :func:`~repro.cclique.engine._concat_rows` appends never perturbs a
+  row's checksum, while a corruption that turns a word *into* NaN
+  (an ``inf`` mantissa flip) still mismatches.
+* :class:`IntegrityPolicy` — the frozen, reusable configuration
+  (checksum seed), attached to an engine via
+  :meth:`~repro.cclique.engine.ArrayClique.attach_integrity`.
+* :class:`IntegrityState` — one policy activated on one engine:
+  computes checksums at :meth:`~repro.cclique.engine.ArrayClique.stage`
+  time, screens rows at delivery, and **quarantines** mismatches —
+  the row never reaches an inbox, its ``(src, dst)`` identity is
+  buffered for protocols to re-request, and the engine reports it to
+  the attached fault pipeline as a ``detected`` ledger count.
+
+The 52-bit fold keeps the checksum an exactly-representable
+nonnegative float64 integer: it rides the engine's float columns
+without ever colliding with the NaN padding sentinel, and it survives
+JSON untouched.  The word is **not charged** against the bandwidth
+budget — it models a CRC trailer inside the per-word framing overhead,
+which is what keeps empty-plan runs bit-identical (same spills, same
+rounds, same inboxes) with integrity checks enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .engine import _Rows
+
+#: check-column value meaning "this row carries no checksum".
+NO_CHECK = -1
+
+#: Default checksum seed (any int works; plans may pin their own).
+DEFAULT_CHECKSUM_SEED = 0x1DE9A17
+
+#: The checksum is folded to 52 bits so it is an exactly-representable
+#: nonnegative integer in float64 (and can never be NaN/inf).
+_CHECKSUM_BITS = 52
+_FOLD_MASK = np.uint64((1 << _CHECKSUM_BITS) - 1)
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer: a bijective avalanche mix on uint64."""
+    x = (x ^ (x >> np.uint64(30))) * _MIX_1
+    x = (x ^ (x >> np.uint64(27))) * _MIX_2
+    return x ^ (x >> np.uint64(31))
+
+
+def _column_salts(seed: int, width: int) -> np.ndarray:
+    """Per-column salts, a pure function of ``(seed, column index)``.
+
+    Stable under width growth: column ``j``'s salt does not depend on
+    how many columns follow it, so a row checksummed at width ``w`` and
+    verified inside a NaN-padded width-``w'`` chunk sees identical salts
+    for its real columns.
+    """
+    # Wrap-around multiply in Python ints: numpy warns on scalar
+    # uint64 overflow even though wrapping is exactly what we want.
+    base = np.uint64((seed * int(_GOLDEN)) & 0xFFFFFFFFFFFFFFFF)
+    columns = np.arange(1, width + 1, dtype=np.uint64)
+    return _mix64(base ^ (columns * _MIX_1))
+
+
+def payload_checksums(payload: np.ndarray, seed: int = DEFAULT_CHECKSUM_SEED) -> np.ndarray:
+    """Vectorized per-row checksum words of a float64 payload matrix.
+
+    Returns an int64 ``(m,)`` column of values in ``[0, 2**52)``.  The
+    checksum is a pure function of each row's non-NaN word bit patterns,
+    their column positions, and ``seed``.
+    """
+    payload = np.ascontiguousarray(payload, dtype=np.float64)
+    if payload.ndim != 2:
+        raise ValueError("payload must be 2-D")
+    m, width = payload.shape
+    if width == 0:
+        return np.zeros(m, dtype=np.int64)
+    bits = payload.view(np.uint64)
+    mixed = _mix64(bits ^ _column_salts(seed, width)[None, :])
+    mixed = np.where(np.isnan(payload), np.uint64(0), mixed)
+    acc = np.bitwise_xor.reduce(mixed, axis=1)
+    folded = (acc ^ (acc >> np.uint64(_CHECKSUM_BITS))) & _FOLD_MASK
+    return folded.astype(np.int64)
+
+
+def verify_checksums(
+    payload: np.ndarray,
+    checks: np.ndarray,
+    seed: int = DEFAULT_CHECKSUM_SEED,
+) -> np.ndarray:
+    """Boolean ``(m,)`` mask: True where the row's checksum matches.
+
+    Rows carrying :data:`NO_CHECK` (staged before integrity was enabled,
+    or by an engine without it) are trusted — they verify as True.
+    """
+    checks = np.asarray(checks, dtype=np.int64)
+    expected = payload_checksums(payload, seed)
+    return (checks == NO_CHECK) | (checks == expected)
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """Frozen checksum configuration, reusable across engines.
+
+    ``seed`` keys the column salts; both sides of a link must share it
+    (in the simulator they trivially do — one engine carries both).
+    """
+
+    seed: int = DEFAULT_CHECKSUM_SEED
+
+    def activate(self) -> "IntegrityState":
+        """Compile a fresh per-engine state (counters start at zero)."""
+        return IntegrityState(self)
+
+
+class IntegrityState:
+    """One policy active on one engine: checksum, screen, quarantine.
+
+    ``verified``/``detected`` are cumulative row counts; quarantined row
+    identities accumulate until :meth:`rerequest` drains them — the
+    re-request mask protocols consult to retransmit what the integrity
+    layer refused to deliver.
+    """
+
+    def __init__(self, policy: IntegrityPolicy) -> None:
+        self.policy = policy
+        self.verified = 0
+        self.detected = 0
+        self._quarantined_src: List[np.ndarray] = []
+        self._quarantined_dst: List[np.ndarray] = []
+
+    def checksums(self, payload: np.ndarray) -> np.ndarray:
+        """The check column for a batch of staged payload rows."""
+        return payload_checksums(payload, self.policy.seed)
+
+    def screen(
+        self, rows: "_Rows"
+    ) -> Tuple["_Rows", Optional[Tuple[np.ndarray, np.ndarray]]]:
+        """Verify delivered rows; quarantine mismatches.
+
+        Returns ``(kept_rows, quarantined)`` where ``quarantined`` is
+        the ``(src, dst)`` columns of the refused rows (None when every
+        row verified).  Quarantined rows never reach an inbox; their
+        identities are also buffered for :meth:`rerequest`.
+        """
+        from .engine import _take  # local import: engine imports us too
+
+        if not len(rows):
+            return rows, None
+        ok = verify_checksums(rows.payload, rows.check, self.policy.seed)
+        self.verified += int(len(rows))
+        if ok.all():
+            return rows, None
+        bad = np.flatnonzero(~ok)
+        self.detected += len(bad)
+        bad_src = rows.src[bad].copy()
+        bad_dst = rows.dst[bad].copy()
+        self._quarantined_src.append(bad_src)
+        self._quarantined_dst.append(bad_dst)
+        return _take(rows, np.flatnonzero(ok)), (bad_src, bad_dst)
+
+    def rerequest(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Drain the quarantine buffer: ``(src, dst)`` of refused rows.
+
+        This is the re-request mask: each entry names an ordered link
+        whose payload was quarantined since the last drain, so a
+        protocol can ask the sender to retransmit.  (The resilient
+        router gets the same effect through its ack loop — a quarantined
+        row is never acknowledged, so it rides the next retransmission.)
+        """
+        if not self._quarantined_src:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        src = np.concatenate(self._quarantined_src)
+        dst = np.concatenate(self._quarantined_dst)
+        self._quarantined_src = []
+        self._quarantined_dst = []
+        return src, dst
+
+    @property
+    def pending_rerequests(self) -> int:
+        """Quarantined rows buffered since the last :meth:`rerequest`."""
+        return sum(len(chunk) for chunk in self._quarantined_src)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe cumulative view of the screening counters."""
+        return {
+            "seed": self.policy.seed,
+            "verified": self.verified,
+            "detected": self.detected,
+            "pending_rerequests": self.pending_rerequests,
+        }
+
+
+def as_integrity(policy: Any) -> Optional[IntegrityState]:
+    """Coerce the user-facing ``integrity=`` argument to an active state.
+
+    Accepts ``None`` / ``False`` (off), ``True`` (default policy), an
+    :class:`IntegrityPolicy`, or an already-activated
+    :class:`IntegrityState` (reused as-is, counters preserved).
+    """
+    if policy is None or policy is False:
+        return None
+    if policy is True:
+        return IntegrityPolicy().activate()
+    if isinstance(policy, IntegrityPolicy):
+        return policy.activate()
+    if isinstance(policy, IntegrityState):
+        return policy
+    raise TypeError(f"not an integrity policy: {policy!r}")
+
+
+__all__ = [
+    "DEFAULT_CHECKSUM_SEED",
+    "IntegrityPolicy",
+    "IntegrityState",
+    "NO_CHECK",
+    "as_integrity",
+    "payload_checksums",
+    "verify_checksums",
+]

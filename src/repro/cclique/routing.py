@@ -63,6 +63,8 @@ class RoutingStats:
     spill_rounds: int = 0
     retries: int = 0
     undelivered: int = 0
+    reconstructed: int = 0
+    parity_words: int = 0
     fault_totals: Optional[Dict[str, int]] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
@@ -315,6 +317,10 @@ def route_batch_two_phase(
     faults=None,
     max_retries: int = 0,
     avoid_crashed: bool = True,
+    recovery: Optional[str] = None,
+    erasure_group: int = 4,
+    integrity=None,
+    adapt_lossy: bool = True,
 ) -> Tuple[BatchDelivery, RoutingStats]:
     """Deterministic Lenzen-style routing of a numpy message batch.
 
@@ -341,17 +347,39 @@ def route_batch_two_phase(
     has crashed (rows whose *endpoints* are dead are undeliverable and
     counted in ``stats.undelivered`` instead of being retried forever).
     Delivered payloads are whatever arrived — corruption shows up in the
-    rows, loss in the delivery rate.
+    rows, loss in the delivery rate (unless ``integrity`` is set, which
+    quarantines corrupted rows so they retry instead of delivering bad).
+
+    ``recovery="erasure"`` additionally ships one XOR-parity row per
+    group of up to ``erasure_group`` same-destination rows each attempt,
+    so a destination missing exactly one group member reconstructs it
+    locally — recovery without waiting a full retransmission cycle
+    (``stats.reconstructed``/``stats.parity_words`` account for it).
+    ``integrity`` attaches a checksum policy (see
+    :mod:`repro.cclique.integrity`); ``adapt_lossy`` lets retry replans
+    steer relays away from statistically lossy nodes, not just dead
+    ones.  An ``integrity`` policy alone (no faults, no retries) rides
+    the clean path, which stays bit-identical to an unchecked run.
     """
-    if faults is not None or max_retries > 0:
+    if recovery not in (None, "retry", "erasure"):
+        raise ValueError(f"unknown recovery mode: {recovery!r}")
+    if erasure_group < 1:
+        raise ValueError("erasure_group must be >= 1")
+    if faults is not None or max_retries > 0 or recovery == "erasure":
         return _route_batch_resilient(
             batch, n, bandwidth_words, load_constant, faults,
             int(max_retries), avoid_crashed,
+            recovery=recovery or "retry",
+            erasure_group=erasure_group,
+            integrity=integrity,
+            adapt_lossy=adapt_lossy,
         )
     max_sent, max_received = _validate_load_columns(
         batch.src, batch.dst, n, load_constant, check_sent=True
     )
     clique = ArrayClique(n, bandwidth_words=bandwidth_words, strict=False)
+    if integrity is not None:
+        clique.attach_integrity(integrity)
     relay = two_phase_relays(batch.src, batch.dst, n)
     delivery, data_rounds = _execute_relayed(clique, batch, relay)
     stats = RoutingStats(
@@ -365,6 +393,120 @@ def route_batch_two_phase(
     return delivery, stats
 
 
+def _erasure_groups(
+    dst_round: np.ndarray, group_size: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chunk same-destination rows into parity groups of ``group_size``.
+
+    Returns ``(grp_of, grp_dst, grp_sizes, first_of)`` where ``grp_of``
+    maps each row (in input order) to its group id, ``grp_dst`` /
+    ``grp_sizes`` describe each group, and ``first_of`` is the input
+    index of each group's first member (whose sender ships the parity).
+    Grouping is a pure function of the destination column, so sender and
+    receiver derive the same plan from the shared coordination rounds.
+    """
+    k = len(dst_round)
+    order = np.argsort(dst_round, kind="stable")
+    d_sorted = dst_round[order]
+    new_dst = np.r_[True, d_sorted[1:] != d_sorted[:-1]]
+    run_start = np.flatnonzero(new_dst)
+    run_of = np.cumsum(new_dst) - 1
+    pos_in_run = np.arange(k) - run_start[run_of]
+    chunk = pos_in_run // group_size
+    new_grp = np.r_[True, (run_of[1:] != run_of[:-1]) | (chunk[1:] != chunk[:-1])]
+    grp_sorted = np.cumsum(new_grp) - 1
+    grp_of = np.empty(k, dtype=np.int64)
+    grp_of[order] = grp_sorted
+    first_of = order[np.flatnonzero(new_grp)]
+    grp_dst = dst_round[first_of]
+    num_groups = len(first_of)
+    grp_sizes = np.bincount(grp_sorted, minlength=num_groups)
+    return grp_of, grp_dst, grp_sizes, first_of
+
+
+def _erasure_decode(
+    view_payload: np.ndarray,
+    node: np.ndarray,
+    accepted: np.ndarray,
+    data_rowids: np.ndarray,
+    attempt_rows: np.ndarray,
+    still_missing: np.ndarray,
+    grp_of: np.ndarray,
+    grp_dst: np.ndarray,
+    grp_sizes: np.ndarray,
+    batch_src: np.ndarray,
+    token_base: int,
+    c_width: int,
+    m: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reconstruct missing rows from delivered parity, per destination.
+
+    For every group whose parity row arrived and exactly one member did
+    not, XOR the parity block with the delivered members' wire blocks:
+    the result is the missing member's ``[rowid, src, payload]`` block.
+    The embedded rowid/src must match the member the (plan-shared)
+    group layout says is missing — a corrupted parity or member block
+    fails that check and the row simply rides the next retransmission.
+    Returns ``(rowids, payloads)`` of the validated reconstructions.
+    """
+    empty = (np.empty(0, dtype=np.int64), np.empty((0, c_width - 2)))
+    num_groups = len(grp_dst)
+    token = view_payload[:, 0]
+    finite = np.isfinite(token)
+    tok = np.where(finite, token, -1).astype(np.int64)
+    is_parity = (
+        finite & ~accepted & (tok >= token_base) & (tok < token_base + num_groups)
+    )
+    pidx = np.flatnonzero(is_parity)
+    if not len(pidx):
+        return empty
+    g_ids = tok[pidx] - token_base
+    ok = node[pidx] == grp_dst[g_ids]
+    pidx, g_ids = pidx[ok], g_ids[ok]
+    if not len(pidx):
+        return empty
+    g_ids, first = np.unique(g_ids, return_index=True)
+    pidx = pidx[first]
+
+    k = len(attempt_rows)
+    pos_of = np.full(m, -1, dtype=np.int64)
+    pos_of[attempt_rows] = np.arange(k)
+    del_pos = pos_of[data_rowids]
+    recv = np.bincount(grp_of[del_pos], minlength=num_groups)
+    missing = grp_sizes - recv
+    cand = missing[g_ids] == 1
+    pidx, g_ids = pidx[cand], g_ids[cand]
+    if not len(pidx):
+        return empty
+
+    # XOR-accumulate the delivered members' wire blocks per group, then
+    # fold in the parity block: what remains is the missing block.
+    acc = np.zeros((num_groups, c_width), dtype=np.uint64)
+    if len(del_pos):
+        wire = np.ascontiguousarray(view_payload[accepted][:, 3:])
+        np.bitwise_xor.at(acc, grp_of[del_pos], wire.view(np.uint64))
+    parity = np.ascontiguousarray(view_payload[pidx][:, 3:]).view(np.uint64)
+    rec = parity ^ acc[g_ids]
+
+    # The missing member per group: positions sum minus delivered sum.
+    pos_sum = np.zeros(num_groups, dtype=np.int64)
+    np.add.at(pos_sum, grp_of, np.arange(k))
+    del_sum = np.zeros(num_groups, dtype=np.int64)
+    if len(del_pos):
+        np.add.at(del_sum, grp_of[del_pos], del_pos)
+    miss_pos = (pos_sum - del_sum)[g_ids]
+    expected = attempt_rows[miss_pos]
+    rec_rowid = rec[:, 0].astype(np.int64)
+    rec_src = rec[:, 1].astype(np.int64)
+    valid = (rec_rowid == expected) & (rec_src == batch_src[expected])
+    valid &= np.isin(expected, still_missing)
+    if not valid.any():
+        return empty
+    expected = expected[valid]
+    payloads = np.ascontiguousarray(rec[valid][:, 2:]).view(np.float64)
+    return expected, payloads
+
+
 def _route_batch_resilient(
     batch: MessageBatch,
     n: int,
@@ -373,6 +515,10 @@ def _route_batch_resilient(
     faults,
     max_retries: int,
     avoid_crashed: bool,
+    recovery: str = "retry",
+    erasure_group: int = 4,
+    integrity=None,
+    adapt_lossy: bool = True,
 ) -> Tuple[BatchDelivery, RoutingStats]:
     """Two-phase routing with retransmit/replan recovery on one engine.
 
@@ -384,6 +530,25 @@ def _route_batch_resilient(
     rowid doubles as the ack token, and a delivered rowid is validated
     against the row's true destination so a corrupted header cannot
     acknowledge somebody else's message.
+
+    **Erasure mode** (``recovery="erasure"``) extends each attempt with
+    one XOR-parity row per group of up to ``erasure_group``
+    same-destination rows.  The coded block is ``[rowid, src, payload]``
+    as raw float64 bit patterns; the parity block is the XOR of its
+    members' blocks, so a destination holding all but one member plus
+    the parity recovers the stragglers's block locally — and the
+    embedded ``(rowid, src)`` words double as a reconstruction check
+    against the expected missing member.  Group membership is a pure
+    function of the (plan-shared) destination layout; the two extra
+    transport columns carrying it are uncharged bookkeeping, and parity
+    rows are charged like data rows (``stats.parity_words``).
+
+    **Adaptive replan** (``adapt_lossy=True``): retransmission attempts
+    consult the :class:`~repro.cclique.faults.FaultTrace` per-node loss
+    ledger and remap relay slots away from statistically lossy nodes
+    (≥ 4× the mean observed loss) exactly like dead ones — targeted
+    link faults stop eating the retry budget.  Under uniform loss no
+    node crosses the threshold and the replan is a no-op.
     """
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
@@ -392,11 +557,14 @@ def _route_batch_resilient(
     )
     m = len(batch)
     width = batch.payload.shape[1]
+    erasure = recovery == "erasure"
     clique = ArrayClique(n, bandwidth_words=bandwidth_words, strict=False)
     active = None
     if faults is not None:
         clique.attach_faults(faults)
         active = clique.faults
+    if integrity is not None:
+        clique.attach_integrity(integrity)
     words = (
         batch.words
         if batch.words is not None
@@ -410,6 +578,10 @@ def _route_batch_resilient(
     delivered_payloads: List[np.ndarray] = []
     relay_max = 0
     retries = 0
+    attempt = 0
+    reconstructed = 0
+    parity_words_total = 0
+    c_width = 2 + width  # the coded block: [rowid, src, payload...]
     while len(outstanding):
         src_round = batch.src[outstanding]
         dst_round = batch.dst[outstanding]
@@ -428,35 +600,104 @@ def _route_batch_resilient(
                     break
                 src_round = src_round[viable]
                 dst_round = dst_round[viable]
-        relay = two_phase_relays(src_round, dst_round, n)
+        k = len(outstanding)
+
+        banned = None
         if dead is not None and avoid_crashed and dead.any():
-            alive = np.flatnonzero(~dead)
-            if not len(alive):
+            if not (~dead).any():
                 outstanding = outstanding[:0]
                 break
-            hit = dead[relay]
+            banned = dead.copy()
+        if (
+            adapt_lossy
+            and retries > 0
+            and active is not None
+            and active.trace.node_loss is not None
+            and active.trace.node_loss.any()
+        ):
+            # Down-weight statistically lossy relays, not just dead
+            # ones: a node at >= 4x the mean observed loss (and at
+            # least 4 losses) is treated like a crashed relay for this
+            # replan.  Uniform loss never crosses the threshold.
+            loss = active.trace.node_loss
+            threshold = max(4.0 * float(loss.mean()), 4.0)
+            lossy = loss >= threshold
+            widened = lossy if banned is None else (banned | lossy)
+            # Keep a healthy relay majority: adaptation never bans more
+            # than half the clique.
+            if widened.any() and int(widened.sum()) <= n // 2:
+                banned = widened
+
+        if erasure:
+            attempt_rows = outstanding  # the row set grp_of aligns with
+            grp_of, grp_dst, grp_sizes, first_of = _erasure_groups(
+                dst_round, erasure_group
+            )
+            num_groups = len(grp_dst)
+            token_base = m * (1 + attempt)  # attempt-scoped parity tokens
+            blocks = np.empty((k, c_width), dtype=np.float64)
+            block_bits = blocks.view(np.uint64)
+            block_bits[:, 0] = outstanding.astype(np.uint64)
+            block_bits[:, 1] = src_round.astype(np.uint64)
+            blocks[:, 2:] = batch.payload[outstanding]
+            parity = np.zeros((num_groups, c_width), dtype=np.uint64)
+            np.bitwise_xor.at(parity, grp_of, block_bits)
+            stage_src = np.concatenate([src_round, src_round[first_of]])
+            final_dst = np.concatenate([dst_round, grp_dst])
+            wrapped = np.empty((k + num_groups, 4 + c_width), dtype=np.float64)
+            wrapped[:k, 0] = dst_round
+            wrapped[k:, 0] = grp_dst
+            wrapped[:k, 1] = outstanding
+            wrapped[k:, 1] = token_base + np.arange(num_groups)
+            wrapped[:k, 2] = grp_of
+            wrapped[k:, 2] = np.arange(num_groups)
+            wrapped[:k, 3] = grp_sizes[grp_of]
+            wrapped[k:, 3] = grp_sizes
+            wrapped[:k, 4:] = blocks
+            wrapped[k:, 4:] = parity.view(np.float64)
+            p_words = words[outstanding][first_of] + 2
+            parity_words_total += int(p_words.sum())
+            stage_words = np.concatenate([words[outstanding] + 2, p_words])
+            stage_refs = None
+            if ref_ids is not None:
+                stage_refs = np.concatenate(
+                    [
+                        ref_ids[outstanding],
+                        np.full(num_groups, NO_REF, dtype=np.int64),
+                    ]
+                )
+        else:
+            stage_src = src_round
+            final_dst = dst_round
+            wrapped = np.column_stack(
+                [
+                    dst_round.astype(np.float64),
+                    outstanding.astype(np.float64),
+                    batch.payload[outstanding],
+                ]
+            )
+            stage_words = words[outstanding] + 2
+            stage_refs = ref_ids[outstanding] if ref_ids is not None else None
+
+        relay = two_phase_relays(stage_src, final_dst, n)
+        if banned is not None and banned.any():
+            open_nodes = np.flatnonzero(~banned)
+            hit = banned[relay]
             if hit.any():
-                # Deterministic replan: remap each dead relay slot onto
-                # the live nodes, preserving the slot's spread.
+                # Deterministic replan: remap each banned relay slot
+                # onto the usable nodes, preserving the slot's spread.
                 relay = relay.copy()
-                relay[hit] = alive[relay[hit] % len(alive)]
+                relay[hit] = open_nodes[relay[hit] % len(open_nodes)]
         relay_max = max(
             relay_max, int(np.bincount(relay, minlength=n).max(initial=0))
         )
-        wrapped = np.column_stack(
-            [
-                dst_round.astype(np.float64),
-                outstanding.astype(np.float64),
-                batch.payload[outstanding],
-            ]
-        )
         clique.stage(
-            src_round,
+            stage_src,
             relay,
             wrapped,
-            words=words[outstanding] + 2,
+            words=stage_words,
             tag=batch.tag,
-            ref_ids=ref_ids[outstanding] if ref_ids is not None else None,
+            ref_ids=stage_refs,
         )
         clique.drain()
         holder, held = clique.collect()
@@ -489,13 +730,29 @@ def _route_batch_resilient(
             accepted &= node == batch.dst[safe]
             accepted &= np.isin(rowid, outstanding)
             rowid = rowid[accepted]
+            # Payload starts after the transport columns: [token] in
+            # retry mode, [token, group, gsize, rowid, src] in erasure.
+            payload_col = 5 if erasure else 1
             if len(rowid):
                 delivered_rows.append(rowid)
-                delivered_payloads.append(view.payload[accepted, 1:])
+                delivered_payloads.append(view.payload[accepted, payload_col:])
                 outstanding = outstanding[~np.isin(outstanding, rowid)]
+            if erasure:
+                rec_ids, rec_payloads = _erasure_decode(
+                    view.payload, node, accepted, rowid,
+                    attempt_rows, outstanding,
+                    grp_of, grp_dst, grp_sizes,
+                    batch.src, token_base, c_width, m,
+                )
+                if len(rec_ids):
+                    reconstructed += len(rec_ids)
+                    delivered_rows.append(rec_ids)
+                    delivered_payloads.append(rec_payloads)
+                    outstanding = outstanding[~np.isin(outstanding, rec_ids)]
         if not len(outstanding) or retries >= max_retries:
             break
         retries += 1
+        attempt += 1
         clique.step()  # the ack round: destinations confirm row ids
 
     if delivered_rows:
@@ -533,6 +790,8 @@ def _route_batch_resilient(
         spill_rounds=clique.spill_rounds,
         retries=retries,
         undelivered=m - len(rowids),
+        reconstructed=reconstructed,
+        parity_words=parity_words_total,
         fault_totals=(
             active.trace.summary() if active is not None else None
         ),

@@ -20,6 +20,14 @@ exactly what the faults cost and what recovery buys back:
 * ``bellman-ford-drop`` — protocol-level measurement: gossip under
   message loss, scored as stretch degradation vs the fault-free
   differential reference.
+* ``byzantine-corrupt`` — adversarial payload bit-flips against the
+  integrity layer: a no-integrity baseline (detection rate 0.0), a
+  checksum-verified retransmit arm, and an erasure-coded arm; the score
+  is the detection rate plus delivered-payload integrity per arm.
+* ``pipeline-degrade`` — the full APSP pipeline under a lossy, degraded
+  fabric: the input graph is disseminated over the faulted clique and
+  the solver runs on what survived; recovery = erasure-coded
+  retransmit; scored as stretch degradation vs the clean estimate.
 
 All workloads are pure functions of ``(n, seed)``; every run inside a
 scenario shares them, which is what makes the three-run comparison a
@@ -42,7 +50,9 @@ from ..cclique.faults import (
     NodeCrash,
     PayloadCorrupt,
 )
+from ..cclique.integrity import IntegrityPolicy
 from ..cclique.routing import RoutingStats, route_batch_two_phase, two_phase_relays
+from ..core.apsp import approximate_apsp
 from ..graphs.generators import erdos_renyi
 from ..protocols.bellman_ford import run_distributed_bellman_ford
 from .registry import register_scenario
@@ -73,6 +83,8 @@ def _run_metrics(
         spill_rounds=stats.spill_rounds,
         retries=stats.retries,
         undelivered=stats.undelivered,
+        reconstructed=stats.reconstructed,
+        parity_words=stats.parity_words,
         fault_totals=stats.fault_totals,
     )
 
@@ -334,6 +346,225 @@ def _bellman_ford_drop(
                 np.array_equal(clean_run.estimate, faulted_run.estimate)
             ),
         },
+    )
+
+
+def _detection_rate(metrics: RunMetrics) -> float:
+    """detected / corrupted; vacuously 1.0 when nothing was corrupted."""
+    totals = metrics.fault_totals or {}
+    corrupted = totals.get("corrupted", 0)
+    if not corrupted:
+        return 1.0
+    return totals.get("detected", 0) / corrupted
+
+
+def _intact_payloads(batch: MessageBatch, delivery) -> int:
+    """Multiset count of (dst, payload word) pairs arriving exactly as sent."""
+    sent = Counter(zip(batch.dst.tolist(), batch.payload[:, 0].tolist()))
+    arrived = Counter(
+        zip(delivery.dst.tolist(), delivery.payload[:, 0].tolist())
+    )
+    return sum((sent & arrived).values())
+
+
+@register_scenario(
+    "byzantine-corrupt",
+    summary="adversarial payload bit-flips against the checksum integrity layer",
+    faults=(
+        "PayloadCorrupt(probability=corrupt_p, protect_prefix=2) — routing "
+        "headers shielded, data words flip adversarially"
+    ),
+    recovery=(
+        "checksum quarantine + bounded retransmit; the erasure arm adds "
+        "XOR-parity reconstruction on top"
+    ),
+    default_params={
+        "corrupt_p": 0.15,
+        "retries": 4,
+        "load": 2,
+        "bandwidth_words": 4,
+        "group": 4,
+    },
+)
+def _byzantine_corrupt(
+    n: int, seed: int, *, corrupt_p: float, retries: int, load: int,
+    bandwidth_words: int, group: int,
+) -> ChaosReport:
+    """Four arms under the same plan and seed.
+
+    * ``clean`` — fault-free reference;
+    * ``baseline`` — corruption with **no** integrity layer: delivery
+      stays high but flipped payloads are silently accepted
+      (detection rate 0.0 — the gap the checksums close);
+    * ``detected`` — checksums quarantine every flipped row, the
+      re-request mask retransmits it (detection rate 1.0);
+    * ``erasure`` — same integrity layer with XOR-parity recovery, so
+      quarantined rows are also reconstructable in-round.
+    """
+    batch = _route_workload(n, seed, int(load))
+    plan = FaultPlan(
+        (PayloadCorrupt(probability=float(corrupt_p), protect_prefix=2),),
+        seed=seed,
+    )
+    clean_delivery, clean_stats = route_batch_two_phase(
+        batch, n, bandwidth_words=bandwidth_words
+    )
+    base_delivery, base_stats = route_batch_two_phase(
+        batch, n, bandwidth_words=bandwidth_words, faults=plan, max_retries=0
+    )
+    det_delivery, det_stats = route_batch_two_phase(
+        batch, n, bandwidth_words=bandwidth_words, faults=plan,
+        max_retries=int(retries), integrity=IntegrityPolicy(),
+    )
+    era_delivery, era_stats = route_batch_two_phase(
+        batch, n, bandwidth_words=bandwidth_words, faults=plan,
+        max_retries=int(retries), integrity=IntegrityPolicy(),
+        recovery="erasure", erasure_group=int(group),
+    )
+    clean = _run_metrics("clean", len(batch), len(clean_delivery), clean_stats)
+    baseline = _run_metrics(
+        "baseline", len(batch), len(base_delivery), base_stats
+    )
+    detected = _run_metrics(
+        "detected", len(batch), len(det_delivery), det_stats
+    )
+    erasure = _run_metrics(
+        "erasure", len(batch), len(era_delivery), era_stats
+    )
+    for metrics, delivery in (
+        (baseline, base_delivery),
+        (detected, det_delivery),
+        (erasure, era_delivery),
+    ):
+        intact = _intact_payloads(batch, delivery)
+        metrics.extra["intact_payloads"] = intact
+        metrics.extra["payload_integrity"] = (
+            intact / len(delivery) if len(delivery) else 1.0
+        )
+        metrics.extra["detection_rate"] = _detection_rate(metrics)
+    score = recovery_score(clean, baseline, detected)
+    score.update(
+        {
+            "detection_rate": detected.extra["detection_rate"],
+            "detection_rate_baseline": baseline.extra["detection_rate"],
+            "payload_integrity_baseline": baseline.extra["payload_integrity"],
+            "payload_integrity": detected.extra["payload_integrity"],
+            "payload_integrity_erasure": erasure.extra["payload_integrity"],
+            "erasure_delivery": erasure.delivery_rate,
+            "erasure_rounds": erasure.rounds,
+            "erasure_reconstructed": erasure.reconstructed,
+            "perfect": (
+                detected.delivery_rate == 1.0
+                and detected.extra["payload_integrity"] == 1.0
+            ),
+        }
+    )
+    return ChaosReport(
+        plan=plan.describe(),
+        runs={m.name: m.snapshot() for m in (clean, baseline, detected, erasure)},
+        score=score,
+    )
+
+
+def _dissemination_metrics(name: str, meta: dict) -> RunMetrics:
+    """RunMetrics view of an ``Estimate.meta['dissemination']`` record."""
+    return RunMetrics(
+        name=name,
+        attempted=meta["attempted_edges"],
+        delivered=meta["delivered_edges"],
+        rounds=meta["rounds"],
+        retries=meta["retries"],
+        undelivered=meta["undelivered_messages"],
+        reconstructed=meta["reconstructed"],
+        fault_totals=meta["fault_totals"],
+        extra={"edge_delivery_rate": meta["edge_delivery_rate"]},
+    )
+
+
+@register_scenario(
+    "pipeline-degrade",
+    summary="full APSP pipeline on a graph disseminated over a lossy fabric",
+    faults=(
+        "LinkDrop(probability=drop) + BandwidthDegrade(capacity_words="
+        "capacity, rounds [0, degrade_until)) during edge dissemination"
+    ),
+    recovery="erasure-coded dissemination + bounded retransmit",
+    default_params={
+        "drop": 0.1,
+        "retries": 4,
+        "capacity": 2,
+        "degrade_until": 4,
+        "degree": 6.0,
+        "variant": "theorem11",
+    },
+)
+def _pipeline_degrade(
+    n: int, seed: int, *, drop: float, retries: int, capacity: int,
+    degrade_until: int, degree: float, variant: str,
+) -> ChaosReport:
+    """End-to-end chaos: the solver runs on whatever edges survived.
+
+    All three arms disseminate the same graph and then run the same
+    same-seeded solver, so the only difference between estimates is
+    what the fabric lost.  The clean arm uses an *empty* fault plan —
+    the dissemination layer is exercised identically, and its output
+    graph (hence estimate) must match the direct run bit-for-bit.
+    Corruption is deliberately absent here: structurally invalid edges
+    are rejected by dissemination's validation, which would conflate
+    loss with detection — ``byzantine-corrupt`` scores that axis.
+    """
+    rng = np.random.default_rng((seed, n))
+    graph = erdos_renyi(n, min(1.0, float(degree) / n), rng)
+    plan = FaultPlan(
+        (
+            LinkDrop(probability=float(drop)),
+            BandwidthDegrade(
+                capacity_words=int(capacity), until_round=int(degrade_until)
+            ),
+        ),
+        seed=seed,
+    )
+    empty_plan = FaultPlan((), seed=seed)
+
+    def solve(**chaos_kwargs):
+        return approximate_apsp(
+            graph, np.random.default_rng(seed), variant=str(variant),
+            **chaos_kwargs,
+        )
+
+    clean_run = solve(faults=empty_plan)
+    faulted_run = solve(faults=plan)
+    recovered_run = solve(
+        faults=plan, max_retries=int(retries), recovery="erasure"
+    )
+    clean = _dissemination_metrics("clean", clean_run.meta["dissemination"])
+    faulted = _dissemination_metrics(
+        "faulted", faulted_run.meta["dissemination"]
+    )
+    recovered = _dissemination_metrics(
+        "recovered", recovered_run.meta["dissemination"]
+    )
+    degradation = stretch_degradation(clean_run.estimate, faulted_run.estimate)
+    recovered_deg = stretch_degradation(
+        clean_run.estimate, recovered_run.estimate
+    )
+    score = recovery_score(clean, faulted, recovered)
+    score.update(
+        {
+            "stretch_degradation": degradation["mean_ratio"],
+            "max_stretch_degradation": degradation["max_ratio"],
+            "degraded_pairs": degradation["degraded_pairs"],
+            "disconnected_pairs": degradation["disconnected_pairs"],
+            "stretch_recovered": recovered_deg["mean_ratio"],
+            "recovered": bool(
+                np.array_equal(clean_run.estimate, recovered_run.estimate)
+            ),
+        }
+    )
+    return ChaosReport(
+        plan=plan.describe(),
+        runs={m.name: m.snapshot() for m in (clean, faulted, recovered)},
+        score=score,
     )
 
 

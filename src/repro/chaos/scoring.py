@@ -72,6 +72,8 @@ class RunMetrics:
     spill_rounds: int = 0
     retries: int = 0
     undelivered: int = 0
+    reconstructed: int = 0
+    parity_words: int = 0
     fault_totals: Optional[Dict[str, int]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
@@ -146,6 +148,8 @@ def recovery_score(
         "rounds_recovered": recovered.rounds,
         "rounds_to_recovery": recovered.rounds - clean.rounds,
         "retries_used": recovered.retries,
+        "undelivered": recovered.undelivered,
+        "reconstructed": recovered.reconstructed,
         "perfect": recovered.delivery_rate == 1.0,
     }
 

@@ -528,10 +528,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             cell("recovery_gain", "{:+.3f}"),
             cell("rounds_to_recovery", "{:d}"),
             cell("stretch_degradation", "{:.3f}x"),
+            cell("detection_rate"),
         ))
     print(format_table(
         ["scenario", "no-recovery", "recovered", "gain", "extra rounds",
-         "stretch"],
+         "stretch", "detection"],
         rows,
         title=f"chaos scenarios (n={args.n}, seed={args.seed})",
     ))

@@ -59,6 +59,10 @@ def apsp_theorem11(
     ledger: Optional[RoundLedger] = None,
     eps: float = 0.1,
     tradeoff_t: Optional[int] = None,
+    faults=None,
+    max_retries: int = 0,
+    recovery: Optional[str] = None,
+    integrity=None,
 ) -> Estimate:
     """Theorem 1.1 (or Theorem 1.2 when ``tradeoff_t`` is given).
 
@@ -75,12 +79,33 @@ def apsp_theorem11(
         When set, the inner per-scale solver is the round-limited
         Lemma 8.2 with parameter ``t + 1`` (Lemma 8.3), yielding the
         Theorem 1.2 tradeoff instead of the fixed constant factor.
+    faults, max_retries, recovery, integrity:
+        A chaos configuration (see :mod:`repro.cclique.faults` and
+        :func:`~repro.cclique.routing.route_batch_two_phase`).  When
+        ``faults`` is set the input graph is first *disseminated* over
+        the faulted fabric (every edge shipped both directions, see
+        :mod:`repro.protocols.dissemination`) and the solver runs on
+        whatever survived — degraded bandwidth and loss show up as
+        stretched estimates, recorded in ``meta["dissemination"]``.
     """
     if graph.directed:
         raise ValueError("Theorem 1.1 applies to undirected graphs")
+    dissemination_meta = None
+    if faults is not None:
+        from ..protocols.dissemination import disseminate_graph
+
+        shipped = disseminate_graph(
+            graph, faults=faults, max_retries=max_retries,
+            recovery=recovery, integrity=integrity,
+        )
+        graph = shipped.graph
+        dissemination_meta = shipped.describe()
     n = graph.n
     if n <= params.exact_small_threshold(n) or graph.num_edges * 3 <= n:
-        return exact_fallback(graph, ledger)
+        fallback = exact_fallback(graph, ledger)
+        if dissemination_meta is not None:
+            fallback.meta["dissemination"] = dissemination_meta
+        return fallback
 
     # Step 1: exact k0-nearest distances on G itself.
     k0 = params.theorem11_k0(n)
@@ -133,18 +158,17 @@ def apsp_theorem11(
     with _phase(ledger, "thm1.1/extend"):
         final, factor = extend_estimate(skeleton, inner.estimate, inner.factor, ledger)
     final = symmetrize_min(final)
-    return Estimate(
-        estimate=final,
-        factor=factor,
-        meta={
-            "k0": k0,
-            "hop_schedule": (h0, i0),
-            "skeleton_nodes": skeleton.num_nodes,
-            "inner": inner.meta,
-            "inner_factor": inner.factor,
-            "simulation_bandwidth_words": words,
-        },
-    )
+    meta = {
+        "k0": k0,
+        "hop_schedule": (h0, i0),
+        "skeleton_nodes": skeleton.num_nodes,
+        "inner": inner.meta,
+        "inner_factor": inner.factor,
+        "simulation_bandwidth_words": words,
+    }
+    if dissemination_meta is not None:
+        meta["dissemination"] = dissemination_meta
+    return Estimate(estimate=final, factor=factor, meta=meta)
 
 
 def approximate_apsp(
@@ -154,6 +178,10 @@ def approximate_apsp(
     t: Optional[int] = None,
     eps: float = 0.1,
     ledger: Optional[RoundLedger] = None,
+    faults=None,
+    max_retries: int = 0,
+    recovery: Optional[str] = None,
+    integrity=None,
 ) -> Estimate:
     """Approximate APSP on a weighted undirected graph — the legacy API.
 
@@ -184,7 +212,26 @@ def approximate_apsp(
     ledger:
         Optional round ledger; created automatically when omitted and
         attached to the result's ``meta["ledger"]``.
+    faults, max_retries, recovery, integrity:
+        A chaos configuration: when ``faults`` is set the graph is
+        first disseminated over the faulted clique fabric (see
+        :mod:`repro.protocols.dissemination`) and the chosen variant
+        runs on the surviving subgraph.  The dissemination outcome is
+        attached to the result's ``meta["dissemination"]``.
     """
     from .registry import run_variant
 
-    return run_variant(variant, graph, rng=rng, ledger=ledger, t=t, eps=eps)
+    dissemination_meta = None
+    if faults is not None:
+        from ..protocols.dissemination import disseminate_graph
+
+        shipped = disseminate_graph(
+            graph, faults=faults, max_retries=max_retries,
+            recovery=recovery, integrity=integrity,
+        )
+        graph = shipped.graph
+        dissemination_meta = shipped.describe()
+    result = run_variant(variant, graph, rng=rng, ledger=ledger, t=t, eps=eps)
+    if dissemination_meta is not None:
+        result.meta["dissemination"] = dissemination_meta
+    return result

@@ -15,6 +15,7 @@ from .aggregation import (
     share_flags,
 )
 from .bellman_ford import BellmanFordProgram, BellmanFordRun, run_distributed_bellman_ford
+from .dissemination import DisseminationResult, disseminate_graph
 from .hopset_protocol import HopsetProtocolResult, run_hopset_protocol
 from .knearest_protocol import (
     BinExchangeResult,
@@ -38,7 +39,9 @@ __all__ = [
     "BellmanFordRun",
     "BinExchangeResult",
     "BroadcastKNearestResult",
+    "DisseminationResult",
     "HopsetProtocolResult",
+    "disseminate_graph",
     "elect_leader",
     "global_edge_list",
     "global_min",

@@ -54,12 +54,25 @@ def run_hopset_protocol(
     graph: WeightedGraph,
     delta: np.ndarray,
     k: int | None = None,
+    *,
+    faults=None,
+    max_retries: int = 0,
+    recovery=None,
+    integrity=None,
 ) -> HopsetProtocolResult:
     """Execute Section 4.1 as messages; return the hopset and round counts.
 
     The output is bit-identical to
-    :func:`repro.core.hopsets.build_knearest_hopset` with the same ``k``.
+    :func:`repro.core.hopsets.build_knearest_hopset` with the same ``k``
+    — when the fabric is clean.  ``faults``/``max_retries``/``recovery``/
+    ``integrity`` thread a chaos configuration into all three routed
+    instances (see :func:`~repro.cclique.routing.route_batch_two_phase`);
+    lost requests or replies shrink the hopset instead of crashing it.
     """
+    route_opts = dict(
+        faults=faults, max_retries=max_retries,
+        recovery=recovery, integrity=integrity,
+    )
     n = graph.n
     delta = np.asarray(delta, dtype=np.float64)
     if delta.shape != (n, n):
@@ -82,14 +95,21 @@ def run_hopset_protocol(
         payload=req_src[valid].astype(np.float64).reshape(-1, 1),
         tag="hopset:req",
     )
-    req_delivery, request_stats = route_batch_two_phase(requests, n)
+    req_delivery, request_stats = route_batch_two_phase(requests, n, **route_opts)
 
     # Step 2b: each u answers each requester with its k shortest outgoing
     # edges (k messages of 3 words per requester; receive load k^2 = O(n)).
     # The reply set is the requester rows expanded k-fold against u's list.
     se_idx, se_w = k_lightest_per_row(graph.csr(), k)
     answerer = req_delivery.dst  # the u of each delivered request row
-    requester = req_delivery.payload[:, 0].astype(np.int64)
+    requester_f = req_delivery.payload[:, 0]
+    # Delivered payloads are untrusted under faults: a corrupted
+    # requester id must not become an out-of-range destination.
+    sane = np.isfinite(requester_f)
+    requester = np.where(sane, requester_f, 0).astype(np.int64)
+    sane &= (requester_f == requester) & (requester >= 0) & (requester < n)
+    answerer = answerer[sane]
+    requester = requester[sane]
     reply_src = np.repeat(answerer, k)
     reply_dst = np.repeat(requester, k)
     endpoints = se_idx[answerer].reshape(-1)
@@ -103,7 +123,7 @@ def run_hopset_protocol(
         ),
         tag="hopset:edge",
     )
-    edge_delivery, edge_stats = route_batch_two_phase(replies, n)
+    edge_delivery, edge_stats = route_batch_two_phase(replies, n, **route_opts)
 
     # Step 3 (local): exact SSSP on the received edges + own outgoing
     # edges.  Each node's subgraph (its block) is assembled as arrays and
@@ -124,10 +144,24 @@ def run_hopset_protocol(
             r_src, r_payload = edge_delivery.for_node(int(v))
             if not len(r_src):
                 continue
-            blocks.append(np.full(len(r_src), v - lo, dtype=np.int64))
-            srcs.append(r_payload[:, 0].astype(np.int64))
-            dsts.append(r_payload[:, 1].astype(np.int64))
-            wgts.append(r_payload[:, 2])
+            # Same untrusted-payload discipline: drop edge records whose
+            # endpoints fell outside the node range or whose weight went
+            # non-finite (possible under PayloadCorrupt without
+            # integrity checksums).
+            a_f, b_f, w_col = r_payload[:, 0], r_payload[:, 1], r_payload[:, 2]
+            good = np.isfinite(a_f) & np.isfinite(b_f) & ~np.isnan(w_col)
+            a_i = np.where(good, a_f, 0).astype(np.int64)
+            b_i = np.where(good, b_f, 0).astype(np.int64)
+            good &= (a_f == a_i) & (a_i >= 0) & (a_i < n)
+            good &= (b_f == b_i) & (b_i >= 0) & (b_i < n)
+            good &= w_col >= 0
+            if not good.any():
+                continue
+            idx = np.flatnonzero(good)
+            blocks.append(np.full(len(idx), v - lo, dtype=np.int64))
+            srcs.append(a_i[idx])
+            dsts.append(b_i[idx])
+            wgts.append(w_col[idx])
         dist[chunk] = batched_sssp(
             n,
             np.concatenate(srcs),
@@ -149,7 +183,7 @@ def run_hopset_protocol(
         ),
         tag="hopset:new-edge",
     )
-    _, notify_stats = route_batch_two_phase(notifications, n)
+    _, notify_stats = route_batch_two_phase(notifications, n, **route_opts)
 
     hopset = WeightedGraph.from_arrays(
         n,

@@ -73,6 +73,9 @@ def run_knearest_broadcast_protocol(
     graph: WeightedGraph,
     k: int,
     h: int,
+    *,
+    faults=None,
+    integrity=None,
 ) -> BroadcastKNearestResult:
     """The ``k ∈ O(1)`` fallback: broadcast everyone's k-edge list.
 
@@ -86,6 +89,10 @@ def run_knearest_broadcast_protocol(
     """
     n = graph.n
     clique = ArrayClique(n, bandwidth_words=3, strict=False)
+    if faults is not None:
+        clique.attach_faults(faults)
+    if integrity is not None:
+        clique.attach_integrity(integrity)
     e_src, e_end, e_w = _filtered_edge_columns(graph, k)
 
     # One row per (edge, target != source).
@@ -108,11 +115,15 @@ def run_knearest_broadcast_protocol(
     np.fill_diagonal(matrix, 0.0)
     _, view = clique.collect()
     if len(view):
-        np.minimum.at(
-            matrix,
-            (view.payload[:, 0].astype(np.int64), view.payload[:, 1].astype(np.int64)),
-            view.payload[:, 2],
-        )
+        # Delivered payloads are untrusted under faults: a corrupted
+        # endpoint must not scatter out of the matrix.
+        a_f, b_f = view.payload[:, 0], view.payload[:, 1]
+        ok = np.isfinite(a_f) & np.isfinite(b_f)
+        a_i = np.where(ok, a_f, 0).astype(np.int64)
+        b_i = np.where(ok, b_f, 0).astype(np.int64)
+        ok &= (a_f == a_i) & (a_i >= 0) & (a_i < n)
+        ok &= (b_f == b_i) & (b_i >= 0) & (b_i < n)
+        np.minimum.at(matrix, (a_i[ok], b_i[ok]), view.payload[ok, 2])
     # own edges (a node obviously knows its own list without messages)
     np.minimum.at(matrix, (e_src, e_end), e_w)
     sparse = row_sparse_from_dense(matrix, k)
@@ -150,7 +161,16 @@ def global_edge_list(graph: WeightedGraph, k: int) -> List[Tuple[int, int, float
     return entries
 
 
-def run_bin_exchange(graph: WeightedGraph, k: int, h: int) -> BinExchangeResult:
+def run_bin_exchange(
+    graph: WeightedGraph,
+    k: int,
+    h: int,
+    *,
+    faults=None,
+    max_retries: int = 0,
+    recovery=None,
+    integrity=None,
+) -> BinExchangeResult:
     """Distribute bins to h-combination owners (Steps 2-3 of Section 5.2).
 
     Every h-combination is assigned to a distinct node (the paper proves
@@ -195,7 +215,10 @@ def run_bin_exchange(graph: WeightedGraph, k: int, h: int) -> BinExchangeResult:
         tag="bins",
     )
     # payload is 4 words + 1 relay word: still O(log n) bits per message.
-    delivered, stats = route_batch_two_phase(batch, n, bandwidth_words=6)
+    delivered, stats = route_batch_two_phase(
+        batch, n, bandwidth_words=6, faults=faults,
+        max_retries=max_retries, recovery=recovery, integrity=integrity,
+    )
     received: Dict[int, List[Tuple[int, int, float]]] = {}
     for owner in range(len(assignments)):
         _, payload = delivered.for_node(owner)

@@ -31,6 +31,17 @@ from ..graphs.graph import WeightedGraph
 from ..semiring.minplus import INF
 
 
+def _sane_index(values: np.ndarray, limit: int) -> tuple:
+    """``(mask, ints)``: which float column entries are valid indices.
+
+    Delivered payloads are untrusted under faults — a corrupted index
+    word must not become an out-of-range scatter target.
+    """
+    finite = np.isfinite(values)
+    ints = np.where(finite, values, 0).astype(np.int64)
+    return finite & (values == ints) & (ints >= 0) & (ints < limit), ints
+
+
 @dataclass
 class SkeletonXYResult:
     """The x/y matrices plus the measured routing costs."""
@@ -49,13 +60,24 @@ def run_skeleton_xy_protocol(
     center: np.ndarray,
     center_delta: np.ndarray,
     size: int,
+    *,
+    faults=None,
+    max_retries: int = 0,
+    recovery=None,
+    integrity=None,
 ) -> SkeletonXYResult:
     """Compute the Lemma 6.2 x/y matrices by exchanging real messages.
 
     Inputs mirror :func:`repro.core.skeleton.skeleton_xy_matrices`:
     ``center[u]`` is the compact index of ``c(u)`` and ``center_delta[u]``
-    the known ``delta(u, c(u))``.
+    the known ``delta(u, c(u))``.  The chaos kwargs thread a fault
+    configuration into all three routed instances; lost messages loosen
+    the minima (x/y entries stay ``INF``) instead of crashing.
     """
+    route_opts = dict(
+        faults=faults, max_retries=max_retries,
+        recovery=recovery, integrity=integrity,
+    )
     n = graph.n
     k = nbr_indices.shape[1]
     center = center.astype(np.int64)
@@ -74,16 +96,17 @@ def run_skeleton_xy_protocol(
         ),
         tag="xy:x",
     )
-    x_delivered, x_stats = route_batch_two_phase(x_batch, n)
+    x_delivered, x_stats = route_batch_two_phase(x_batch, n, **route_opts)
 
     # Per-node minimisation: one minimum.at scatter over the delivered
     # (t, s_a, value) columns.
     x_partial = np.full((n, size), INF)
     if len(x_delivered):
+        ok, s_idx = _sane_index(x_delivered.payload[:, 0], size)
         np.minimum.at(
             x_partial,
-            (x_delivered.dst, x_delivered.payload[:, 0].astype(np.int64)),
-            x_delivered.payload[:, 1],
+            (x_delivered.dst[ok], s_idx[ok]),
+            x_delivered.payload[ok, 1],
         )
 
     # ---- y-values: v -> neighbour t messages (edge-array fan-out). --- #
@@ -97,16 +120,17 @@ def run_skeleton_xy_protocol(
         payload=np.column_stack([center[y_src].astype(np.float64), y_val]),
         tag="xy:y",
     )
-    y_delivered, y_stats = route_batch_two_phase(y_batch, n)
+    y_delivered, y_stats = route_batch_two_phase(y_batch, n, **route_opts)
 
     y_partial = np.full((n, size), INF)
     # the t = v case is local knowledge: y(t, c(t)) <= delta(t, c(t)).
     np.minimum.at(y_partial, (np.arange(n), center), center_delta)
     if len(y_delivered):
+        ok, s_idx = _sane_index(y_delivered.payload[:, 0], size)
         np.minimum.at(
             y_partial,
-            (y_delivered.dst, y_delivered.payload[:, 0].astype(np.int64)),
-            y_delivered.payload[:, 1],
+            (y_delivered.dst[ok], s_idx[ok]),
+            y_delivered.payload[ok, 1],
         )
 
     # ---- reporting: t sends each finite x(s_a, t) / y(t, s_b) to the
@@ -128,18 +152,22 @@ def run_skeleton_xy_protocol(
         ),
         tag="xy:report",
     )
-    reports, report_stats = route_batch_two_phase(report_batch, n, bandwidth_words=6)
+    reports, report_stats = route_batch_two_phase(
+        report_batch, n, bandwidth_words=6, **route_opts
+    )
 
     x = np.full((size, n), INF)
     y = np.full((n, size), INF)
     if len(reports):
-        kind = reports.payload[:, 0].astype(np.int64)
-        s_index = reports.payload[:, 1].astype(np.int64)
-        t_index = reports.payload[:, 2].astype(np.int64)
+        kind_ok, kind = _sane_index(reports.payload[:, 0], 2)
+        s_ok, s_index = _sane_index(reports.payload[:, 1], size)
+        t_ok, t_index = _sane_index(reports.payload[:, 2], n)
         value = reports.payload[:, 3]
-        is_x = kind == 0
+        good = kind_ok & s_ok & t_ok
+        is_x = good & (kind == 0)
+        is_y = good & (kind == 1)
         np.minimum.at(x, (s_index[is_x], t_index[is_x]), value[is_x])
-        np.minimum.at(y, (t_index[~is_x], s_index[~is_x]), value[~is_x])
+        np.minimum.at(y, (t_index[is_y], s_index[is_y]), value[is_y])
     return SkeletonXYResult(
         x=x,
         y=y,

@@ -54,8 +54,20 @@ def _group_min(keys: np.ndarray, values: np.ndarray) -> tuple:
     return sorted_keys[first], values[order][first]
 
 
-def run_zero_weight_protocol(graph: WeightedGraph) -> ZeroWeightProtocolResult:
-    """Execute Appendix A steps 1-3 as messages; return the compressed graph."""
+def run_zero_weight_protocol(
+    graph: WeightedGraph,
+    *,
+    faults=None,
+    max_retries: int = 0,
+    recovery=None,
+    integrity=None,
+) -> ZeroWeightProtocolResult:
+    """Execute Appendix A steps 1-3 as messages; return the compressed graph.
+
+    The chaos kwargs thread a fault configuration into the routed
+    exchange (step 3); a lost lightest-edge message shows up as a
+    missing or heavier compressed edge, never a crash.
+    """
     if graph.directed:
         raise ValueError("the zero-weight reduction is for undirected graphs")
     n = graph.n
@@ -101,16 +113,32 @@ def run_zero_weight_protocol(graph: WeightedGraph) -> ZeroWeightProtocolResult:
         ),
         tag="zw",
     )
-    delivered, stats = route_batch_two_phase(batch, n)
+    delivered, stats = route_batch_two_phase(
+        batch, n, faults=faults, max_retries=max_retries,
+        recovery=recovery, integrity=integrity,
+    )
 
     # Step 4 (at the leaders): minima per (source, target) component pair.
+    # Delivered payloads are untrusted under faults: only structurally
+    # valid rows (leader id names an actual leader, weight a positive
+    # integer) enter the compressed graph.
     if len(delivered):
-        source_compact = compact[delivered.payload[:, 0].astype(np.int64)]
-        target_compact = compact[delivered.dst]
+        source_f = delivered.payload[:, 0]
+        weight_f = delivered.payload[:, 1]
+        ok = np.isfinite(source_f) & np.isfinite(weight_f)
+        source_i = np.where(ok, source_f, 0).astype(np.int64)
+        ok &= (source_f == source_i) & (source_i >= 0) & (source_i < n)
+        ok &= compact[np.clip(source_i, 0, n - 1)] >= 0
+        ok &= (weight_f > 0) & (weight_f == np.floor(weight_f))
+        delivered_dst = delivered.dst[ok]
+        source_i = source_i[ok]
+        weight_f = weight_f[ok]
+        source_compact = compact[source_i]
+        target_compact = compact[delivered_dst]
         a = np.minimum(source_compact, target_compact)
         b = np.maximum(source_compact, target_compact)
         edge_key, edge_w = _group_min(
-            a * len(leaders) + b, delivered.payload[:, 1]
+            a * len(leaders) + b, weight_f
         )
         compressed = WeightedGraph.from_arrays(
             max(1, len(leaders)),

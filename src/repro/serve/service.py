@@ -93,6 +93,11 @@ class ServiceConfig:
     retried up to ``max_retries`` times with jittered exponential
     backoff starting at ``retry_backoff_ms``.  Timeouts and retries are
     surfaced as the ``timeouts`` / ``retries`` service counters.
+
+    ``retry_jitter_seed`` seeds the backoff-jitter RNG; ``None`` (the
+    default) derives it from ``metrics_seed``, so replays stay
+    deterministic without coupling the backoff schedule to the metrics
+    reservoir when a caller wants to vary them independently.
     """
 
     max_batch: int = 64
@@ -106,6 +111,7 @@ class ServiceConfig:
     request_timeout_s: Optional[float] = None
     max_retries: int = 0
     retry_backoff_ms: float = 5.0
+    retry_jitter_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -136,6 +142,7 @@ class ServiceConfig:
             "request_timeout_s": self.request_timeout_s,
             "max_retries": self.max_retries,
             "retry_backoff_ms": self.retry_backoff_ms,
+            "retry_jitter_seed": self.retry_jitter_seed,
         }
 
 
@@ -166,7 +173,10 @@ class OracleService:
         self._closed = False
         # Deterministic jitter source for retry backoff (event-loop
         # thread only); seeded so load tests replay identically.
-        self._jitter = random.Random(self.config.metrics_seed)
+        jitter_seed = self.config.retry_jitter_seed
+        if jitter_seed is None:
+            jitter_seed = self.config.metrics_seed
+        self._jitter = random.Random(jitter_seed)
         # Pre-seed the robustness counters so snapshots always carry
         # them, even on services that never time out.
         self.metrics.bump("timeouts", 0)

@@ -24,6 +24,8 @@ BUILTIN_SCENARIOS = (
     "route-degrade-delay",
     "route-corrupt",
     "bellman-ford-drop",
+    "byzantine-corrupt",
+    "pipeline-degrade",
 )
 
 
@@ -151,6 +153,36 @@ class TestScenarios:
         report = run_scenario("bellman-ford-drop", n=24, seed=0, drop=0.1)
         assert report.score["stretch_degradation"] >= 1.0
         assert report.score["compared_pairs"] > 0
+
+    def test_byzantine_corrupt_detection_gap(self):
+        report = run_scenario("byzantine-corrupt", n=24, seed=0)
+        # The whole point: without checksums nothing is detected, with
+        # them every flipped row is quarantined and re-requested.
+        assert report.score["detection_rate_baseline"] == 0.0
+        assert report.score["detection_rate"] == 1.0
+        assert report.score["payload_integrity_baseline"] < 1.0
+        assert report.score["payload_integrity"] == 1.0
+        assert report.score["payload_integrity_erasure"] == 1.0
+        assert report.score["delivery_rate"] == 1.0
+        assert "signature" in report.plan
+
+    def test_byzantine_corrupt_records_per_run_detection(self):
+        report = run_scenario("byzantine-corrupt", n=16, seed=2)
+        runs = report.runs
+        assert runs["baseline"]["extra"]["detection_rate"] == 0.0
+        assert runs["detected"]["extra"]["detection_rate"] == 1.0
+        assert runs["detected"]["fault_totals"]["detected"] > 0
+
+    def test_pipeline_degrade_recovers_estimate(self):
+        report = run_scenario("pipeline-degrade", n=32, seed=0)
+        # Erasure-coded retransmit ships every edge, so the recovered
+        # estimate matches the clean differential reference exactly.
+        assert report.score["delivery_no_recovery"] < 1.0
+        assert report.score["delivery_rate"] == 1.0
+        assert report.score["recovered"] is True
+        assert report.score["stretch_recovered"] == 1.0
+        assert report.score["stretch_degradation"] >= 1.0
+        assert report.runs["recovered"]["reconstructed"] >= 0
 
     def test_reports_are_deterministic(self):
         a = run_scenario("route-drop", n=16, seed=3)

@@ -1,0 +1,290 @@
+"""Tests for the integrity layer: checksums, screening, erasure recovery.
+
+The property pair that defines the layer:
+
+* **completeness** — every row flipped by ``PayloadCorrupt`` is flagged
+  (detection rate 1.0), across seeds;
+* **soundness** — no clean row is ever flagged (false-positive rate
+  0.0), across seeds, including rows that crossed a NaN-padded
+  cross-chunk concatenation.
+
+Plus the erasure acceptance criterion: a zero-fault erasure-coded run
+delivers payloads bit-identical to the clean two-phase route, and a
+faulted erasure run reconstructs to full delivery with uncorrupted
+payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cclique.engine import ArrayClique, MessageBatch
+from repro.cclique.faults import FaultPlan, LinkDrop, PayloadCorrupt
+from repro.cclique.integrity import (
+    NO_CHECK,
+    IntegrityPolicy,
+    IntegrityState,
+    as_integrity,
+    payload_checksums,
+    verify_checksums,
+)
+from repro.cclique.routing import route_batch_two_phase
+
+
+def _random_payload(rng, m, width):
+    payload = rng.normal(size=(m, width)) * 10.0 ** rng.integers(
+        -3, 6, size=(m, width)
+    )
+    return np.ascontiguousarray(payload, dtype=np.float64)
+
+
+def _workload(n, seed, load=2):
+    rng = np.random.default_rng((seed, n, load))
+    src = np.tile(np.arange(n, dtype=np.int64), load)
+    dst = np.concatenate([rng.permutation(n) for _ in range(load)])
+    payload = np.arange(load * n, dtype=np.float64).reshape(-1, 1) + 0.5
+    return MessageBatch(src=src, dst=dst, payload=payload)
+
+
+class TestChecksums:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 1234])
+    def test_clean_rows_always_verify(self, seed):
+        rng = np.random.default_rng(seed)
+        payload = _random_payload(rng, 256, 5)
+        checks = payload_checksums(payload, seed=seed)
+        assert verify_checksums(payload, checks, seed=seed).all()
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 1234])
+    def test_single_bit_flips_always_detected(self, seed):
+        rng = np.random.default_rng(seed)
+        payload = _random_payload(rng, 256, 5)
+        checks = payload_checksums(payload, seed=seed)
+        bits = payload.view(np.uint64).copy()
+        rows = np.arange(256)
+        cols = rng.integers(0, 5, size=256)
+        bit = rng.integers(0, 64, size=256).astype(np.uint64)
+        bits[rows, cols] ^= np.uint64(1) << bit
+        flipped = bits.view(np.float64)
+        assert not verify_checksums(flipped, checks, seed=seed).any()
+
+    def test_column_swap_detected(self):
+        payload = np.array([[1.0, 2.0], [3.0, 4.0]])
+        checks = payload_checksums(payload)
+        swapped = payload[:, ::-1].copy()
+        assert not verify_checksums(swapped, checks).any()
+
+    def test_corruption_into_nan_detected(self):
+        # A flip that turns a word into NaN removes it from the XOR —
+        # the checksum must still mismatch.
+        payload = np.array([[1.5, 2.5, 3.5]])
+        checks = payload_checksums(payload)
+        poisoned = payload.copy()
+        poisoned[0, 1] = np.nan
+        assert not verify_checksums(poisoned, checks).any()
+
+    def test_nan_padding_is_checksum_neutral(self):
+        # The engine pads narrow chunks with NaN columns when chunks of
+        # different widths concatenate; a padded row must verify under
+        # its original checksum.
+        payload = np.array([[1.5, 2.5], [3.5, 4.5]])
+        checks = payload_checksums(payload)
+        padded = np.column_stack([payload, np.full((2, 2), np.nan)])
+        assert verify_checksums(padded, checks).all()
+
+    def test_checksums_are_exact_float64_integers(self):
+        rng = np.random.default_rng(0)
+        checks = payload_checksums(_random_payload(rng, 128, 3))
+        as_float = checks.astype(np.float64)
+        assert (as_float.astype(np.int64) == checks).all()
+        assert (checks >= 0).all()
+        assert (checks < 2**52).all()
+
+    def test_zero_width_payload(self):
+        checks = payload_checksums(np.empty((4, 0)))
+        assert (checks == 0).all()
+
+    def test_no_check_rows_are_trusted(self):
+        payload = np.array([[1.0], [2.0]])
+        checks = np.array([NO_CHECK, NO_CHECK], dtype=np.int64)
+        assert verify_checksums(payload, checks).all()
+
+
+class TestEngineScreening:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_detection_is_complete_and_sound(self, seed):
+        # Every corrupted row quarantined, every clean row delivered:
+        # detected == corrupted exactly, across seeds.
+        n = 24
+        clique = ArrayClique(n, bandwidth_words=4, strict=False)
+        plan = FaultPlan(
+            (PayloadCorrupt(probability=0.3, protect_prefix=0),), seed=seed
+        )
+        trace = clique.attach_faults(plan)
+        state = clique.attach_integrity(IntegrityPolicy())
+        batch = _workload(n, seed)
+        clique.stage(batch.src, batch.dst, batch.payload, tag="t")
+        clique.drain()
+        totals = trace.totals
+        assert totals["corrupted"] > 0
+        assert totals["detected"] == totals["corrupted"]
+        assert state.detected == totals["corrupted"]
+        _, view = clique.collect()
+        assert len(view) == len(batch) - totals["corrupted"]
+        # Delivered payloads are exactly a sub-multiset of what was sent.
+        assert set(view.payload[:, 0].tolist()) <= set(
+            batch.payload[:, 0].tolist()
+        )
+
+    def test_no_false_positives_without_faults(self):
+        n = 16
+        clique = ArrayClique(n, bandwidth_words=4, strict=False)
+        state = clique.attach_integrity(IntegrityPolicy())
+        batch = _workload(n, seed=5)
+        clique.stage(batch.src, batch.dst, batch.payload, tag="t")
+        clique.drain()
+        assert state.detected == 0
+        assert state.verified == len(batch)
+        _, view = clique.collect()
+        assert len(view) == len(batch)
+
+    def test_rerequest_mask_names_quarantined_links(self):
+        n = 12
+        clique = ArrayClique(n, bandwidth_words=4, strict=False)
+        plan = FaultPlan(
+            (PayloadCorrupt(probability=1.0, protect_prefix=0),), seed=0
+        )
+        clique.attach_faults(plan)
+        state = clique.attach_integrity(IntegrityPolicy())
+        batch = _workload(n, seed=0, load=1)
+        clique.stage(batch.src, batch.dst, batch.payload, tag="t")
+        clique.drain()
+        assert state.pending_rerequests == len(batch)
+        src, dst = state.rerequest()
+        assert sorted(zip(src.tolist(), dst.tolist())) == sorted(
+            zip(batch.src.tolist(), batch.dst.tolist())
+        )
+        assert state.pending_rerequests == 0
+        # Drained: a second call returns empty columns.
+        src2, dst2 = state.rerequest()
+        assert len(src2) == 0 and len(dst2) == 0
+
+    def test_empty_plan_bit_identical_with_integrity(self):
+        # The checksum word is framing overhead, not payload: enabling
+        # integrity must not change rounds, spills, or delivered bits.
+        n = 16
+        batch = _workload(n, seed=9, load=3)
+        outcomes = []
+        for integrity in (None, IntegrityPolicy()):
+            clique = ArrayClique(n, bandwidth_words=4, strict=False)
+            if integrity is not None:
+                clique.attach_integrity(integrity)
+            clique.stage(batch.src, batch.dst, batch.payload, tag="t")
+            rounds = clique.drain()
+            node, view = clique.collect()
+            order = np.lexsort((view.payload[:, 0], node, view.src))
+            outcomes.append(
+                (rounds, view.src[order], node[order], view.payload[order])
+            )
+        assert outcomes[0][0] == outcomes[1][0]
+        for a, b in zip(outcomes[0][1:], outcomes[1][1:]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_as_integrity_coercions(self):
+        assert as_integrity(None) is None
+        assert as_integrity(False) is None
+        assert isinstance(as_integrity(True), IntegrityState)
+        state = IntegrityPolicy().activate()
+        assert as_integrity(state) is state
+        with pytest.raises(TypeError, match="not an integrity policy"):
+            as_integrity(42)
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        state = IntegrityPolicy().activate()
+        json.dumps(state.summary())
+
+
+class TestErasureRecovery:
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_zero_fault_erasure_is_payload_identical(self, seed):
+        # Acceptance: with an empty fault plan, the erasure-coded route
+        # delivers payloads bit-identical to the clean two-phase route.
+        n = 20
+        batch = _workload(n, seed, load=2)
+        clean, _ = route_batch_two_phase(batch, n, bandwidth_words=4)
+        coded, stats = route_batch_two_phase(
+            batch, n, bandwidth_words=4, recovery="erasure",
+            integrity=IntegrityPolicy(),
+        )
+        assert len(coded) == len(clean) == len(batch)
+        assert stats.reconstructed == 0
+        key_clean = np.lexsort((clean.payload[:, 0], clean.dst))
+        key_coded = np.lexsort((coded.payload[:, 0], coded.dst))
+        np.testing.assert_array_equal(
+            clean.dst[key_clean], coded.dst[key_coded]
+        )
+        np.testing.assert_array_equal(
+            clean.payload[key_clean], coded.payload[key_coded]
+        )
+
+    def test_erasure_reconstructs_under_drop(self):
+        n = 24
+        batch = _workload(n, seed=1, load=2)
+        plan = FaultPlan((LinkDrop(probability=0.1),), seed=1)
+        delivered, stats = route_batch_two_phase(
+            batch, n, bandwidth_words=4, faults=plan,
+            max_retries=6, recovery="erasure",
+        )
+        assert len(delivered) == len(batch)
+        assert stats.reconstructed > 0
+        assert stats.parity_words > 0
+        # Reconstructed rows carry the original payload bits.
+        assert sorted(delivered.payload[:, 0].tolist()) == sorted(
+            batch.payload[:, 0].tolist()
+        )
+
+    def test_erasure_beats_retry_on_rounds(self):
+        # Acceptance: at 10% drop, erasure delivers at least as much as
+        # bounded retry in strictly fewer rounds (parity fills holes
+        # without waiting a full retransmission cycle per loss).
+        n = 24
+        batch = _workload(n, seed=0, load=2)
+        plan = FaultPlan((LinkDrop(probability=0.1),), seed=0)
+        retry_d, retry_s = route_batch_two_phase(
+            batch, n, bandwidth_words=4, faults=plan, max_retries=6,
+        )
+        erasure_d, erasure_s = route_batch_two_phase(
+            batch, n, bandwidth_words=4, faults=plan, max_retries=6,
+            recovery="erasure",
+        )
+        assert len(erasure_d) >= len(retry_d)
+        assert erasure_s.rounds < retry_s.rounds
+
+    def test_erasure_with_corruption_and_integrity(self):
+        # Corrupted rows are quarantined by the checksums *and* healed
+        # by parity/retransmit: full delivery, zero poisoned payloads.
+        n = 20
+        batch = _workload(n, seed=4, load=2)
+        plan = FaultPlan(
+            (PayloadCorrupt(probability=0.15, protect_prefix=2),), seed=4
+        )
+        delivered, stats = route_batch_two_phase(
+            batch, n, bandwidth_words=4, faults=plan, max_retries=6,
+            recovery="erasure", integrity=IntegrityPolicy(),
+        )
+        totals = stats.fault_totals
+        assert totals["corrupted"] > 0
+        assert totals["detected"] == totals["corrupted"]
+        assert len(delivered) == len(batch)
+        assert sorted(delivered.payload[:, 0].tolist()) == sorted(
+            batch.payload[:, 0].tolist()
+        )
+
+    def test_invalid_recovery_mode_rejected(self):
+        batch = _workload(8, seed=0, load=1)
+        with pytest.raises(ValueError, match="recovery"):
+            route_batch_two_phase(batch, 8, recovery="fountain")
+        with pytest.raises(ValueError, match="erasure_group"):
+            route_batch_two_phase(
+                batch, 8, recovery="erasure", erasure_group=0
+            )
