@@ -44,10 +44,28 @@ class Route:
         return max(0, len(self.path) - 1)
 
 
+def _as_estimate_matrix(estimate: np.ndarray, n: int) -> np.ndarray:
+    """Validate an estimate for table construction without copying it.
+
+    float64 and (opt-in, out-of-core) float32 estimates pass through
+    as-is — memmap-backed arrays in particular are *not* densified; the
+    chunked gathers below read them row-window by row-window.  Any other
+    dtype is cast to float64.
+    """
+    arr = np.asarray(estimate)
+    if arr.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        arr = np.asarray(estimate, dtype=np.float64)
+    if arr.shape != (n, n):
+        raise ValueError("estimate must be (n, n)")
+    return arr
+
+
 def next_hop_table(
     graph: WeightedGraph,
     estimate: np.ndarray,
     chunk_elems: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+    hop_weight_out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """``table[u, t]`` = the neighbour ``u`` forwards to for target ``t``.
 
@@ -68,14 +86,39 @@ def next_hop_table(
     elements, ~4 MiB — keeps the working set cache-resident).
     :func:`next_hop_table_reference` is the per-node implementation this
     one is differentially tested against.
+
+    Row-sharded construction: with ``out`` (int64) and ``hop_weight_out``
+    (float64) preallocated — typically ``np.memmap`` destinations — the
+    function never materialises a full ``(n, n)`` array in RAM; its
+    resident working set is bounded by the chunked score tensors.
+    ``hop_weight_out`` additionally receives ``w(u, table[u, t])`` (the
+    weight of the chosen hop; ``inf`` where the table says ``-1``, ``0``
+    on the diagonal), letting oracle construction skip the dense
+    ``graph.matrix()`` gather entirely.  float32 estimates are scored in
+    float64 per-chunk (exact upcast), so the chosen hops match a float64
+    run on ``estimate.astype(np.float64)`` bit-for-bit.
     """
     n = graph.n
-    estimate = np.asarray(estimate, dtype=np.float64)
-    if estimate.shape != (n, n):
-        raise ValueError("estimate must be (n, n)")
+    estimate = _as_estimate_matrix(estimate, n)
     if chunk_elems is None:
         chunk_elems = 1 << 19
-    table = np.full((n, n), -1, dtype=np.int64)
+    if out is None:
+        table = np.full((n, n), -1, dtype=np.int64)
+    else:
+        table = np.asarray(out)
+        if table.shape != (n, n) or table.dtype != np.int64:
+            raise ValueError("out must be an (n, n) int64 array")
+        if not table.flags.writeable:
+            raise ValueError("out must be writable")
+        table.fill(-1)
+    hop_weight = None
+    if hop_weight_out is not None:
+        hop_weight = np.asarray(hop_weight_out)
+        if hop_weight.shape != (n, n) or hop_weight.dtype != np.float64:
+            raise ValueError("hop_weight_out must be an (n, n) float64 array")
+        if not hop_weight.flags.writeable:
+            raise ValueError("hop_weight_out must be writable")
+        hop_weight.fill(np.inf)
     csr = graph.csr()
     if csr.num_entries:
         degrees = csr.degrees
@@ -96,14 +139,22 @@ def next_hop_table(
             for lo in range(0, rows.size, chunk):
                 hi = min(rows.size, lo + chunk)
                 # scores[r, j, t] = w(rows[r], ids[r, j]) + estimate[ids[r, j], t]
+                # float64 weights promote a float32 gather exactly, so the
+                # scores (hence the argmin) match the float64 run.
                 scores = weights[lo:hi, :, None] + estimate[ids[lo:hi]]
                 slot = scores.argmin(axis=1)
                 best = np.take_along_axis(
                     scores, slot[:, None, :], axis=1
                 )[:, 0, :]
                 chosen = np.take_along_axis(ids[lo:hi], slot, axis=1)
-                table[rows[lo:hi]] = np.where(np.isfinite(best), chosen, -1)
+                finite = np.isfinite(best)
+                table[rows[lo:hi]] = np.where(finite, chosen, -1)
+                if hop_weight is not None:
+                    paid = np.take_along_axis(weights[lo:hi], slot, axis=1)
+                    hop_weight[rows[lo:hi]] = np.where(finite, paid, np.inf)
     np.fill_diagonal(table, np.arange(n))
+    if hop_weight is not None:
+        np.fill_diagonal(hop_weight, 0.0)
     return table
 
 

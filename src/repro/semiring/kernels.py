@@ -98,13 +98,17 @@ _INT_INF_THRESHOLD = np.int64(2**59)
 class KernelSpec:
     """One registered min-plus product implementation.
 
-    ``func(a, b, block, memory_budget) -> out`` receives validated
-    float64 arrays with agreeing inner dimensions and must return the
-    exact tropical product (bit-identical to the reference kernel).
+    ``func(a, b, block, memory_budget, out) -> result`` receives
+    validated float64 arrays with agreeing inner dimensions and must
+    return the exact tropical product (bit-identical to the reference
+    kernel).  ``out`` is an optional preallocated float64 destination
+    (never aliasing the operands); a kernel may write into it and return
+    it, or ignore it and return a fresh array — the dispatcher copies
+    into ``out`` when the kernel didn't.
     """
 
     name: str
-    func: Callable[[np.ndarray, np.ndarray, Optional[int], int], np.ndarray]
+    func: Callable[..., np.ndarray]
     summary: str
     requires: str = ""  # soft dependency note ("numba"), purely informational
 
@@ -241,6 +245,22 @@ def resolve_kernel(
 # --------------------------------------------------------------------- #
 
 
+def _validate_out(
+    out: np.ndarray, shape: Tuple[int, int], a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Check a caller-provided destination buffer for the dispatcher."""
+    out = np.asarray(out)
+    if out.shape != shape:
+        raise ValueError(f"out must have shape {shape}; got {out.shape}")
+    if out.dtype != np.float64:
+        raise ValueError(f"out must be float64; got {out.dtype}")
+    if not out.flags.writeable:
+        raise ValueError("out must be writable")
+    if np.may_share_memory(out, a) or np.may_share_memory(out, b):
+        raise ValueError("out must not share memory with the operands")
+    return out
+
+
 def minplus(
     a: np.ndarray,
     b: np.ndarray,
@@ -248,6 +268,7 @@ def minplus(
     *,
     kernel: Optional[str] = None,
     memory_budget: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Dense min-plus product ``(A * B)[i, j] = min_k (A[i,k] + B[k,j])``.
 
@@ -269,16 +290,29 @@ def minplus(
     memory_budget:
         Scratch-buffer budget in bytes for the tiled kernels; defaults to
         ``REPRO_MINPLUS_BUDGET`` or :data:`DEFAULT_MEMORY_BUDGET`.
+    out:
+        Optional preallocated float64 destination of shape
+        ``(a.shape[0], b.shape[1])``, not aliasing the operands.  The
+        result lands there (and is returned); repeated products —
+        ``minplus_power``'s squaring loop — can then ping-pong two
+        buffers instead of allocating an ``(n, n)`` temporary per step.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError("inner dimensions must agree")
+    if out is not None:
+        out = _validate_out(out, (a.shape[0], b.shape[1]), a, b)
     if a.shape[1] == 0:
         # Empty inner dimension: the min over an empty set is the
         # semiring zero (inf) everywhere.
+        if out is not None:
+            out.fill(INF)
+            return out
         return np.full((a.shape[0], b.shape[1]), INF)
     if a.shape[0] == 0 or b.shape[1] == 0:
+        if out is not None:
+            return out
         return np.empty((a.shape[0], b.shape[1]), dtype=np.float64)
     if memory_budget is None:
         memory_budget = int(
@@ -288,8 +322,13 @@ def minplus(
     if name == "int-repack" and _was_auto_selected(kernel):
         # Auto-selection just proved integrality; skip the kernel's own
         # O(n^2) recheck on this (hot) path.
-        return _int_repack_product(a, b, memory_budget, integral=True)
-    return get_kernel(name).func(a, b, block, memory_budget)
+        result = _int_repack_product(a, b, memory_budget, integral=True, out=out)
+    else:
+        result = get_kernel(name).func(a, b, block, memory_budget, out)
+    if out is not None and result is not out:
+        np.copyto(out, result)
+        return out
+    return result
 
 
 def _was_auto_selected(kernel: Optional[str]) -> bool:
@@ -305,9 +344,10 @@ def minplus_square(
     block: Optional[int] = None,
     *,
     kernel: Optional[str] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """One min-plus squaring ``A -> A (*) A``."""
-    return minplus(matrix, matrix, block=block, kernel=kernel)
+    return minplus(matrix, matrix, block=block, kernel=kernel, out=out)
 
 
 def minplus_power(
@@ -323,6 +363,11 @@ def minplus_power(
     paths with at most h hops" (Section 2.1).  Square-and-multiply makes
     the exponent exact for every ``h`` (plain repeated squaring would
     overshoot to the next power of two).
+
+    Memory discipline: each squaring and each accumulator multiply
+    ping-pongs a pair of preallocated buffers through ``minplus(out=...)``
+    — at most four ``(n, n)`` arrays live for the whole loop, where the
+    naive form allocated a fresh product every round.
     """
     if exponent < 1:
         raise ValueError("exponent must be >= 1")
@@ -330,18 +375,26 @@ def minplus_power(
     if np.any(np.diag(matrix) != 0):
         raise ValueError("matrix must have a zero diagonal")
     accumulator: Optional[np.ndarray] = None
+    acc_spare: Optional[np.ndarray] = None
     base = np.array(matrix)
+    base_spare: Optional[np.ndarray] = None
     remaining = int(exponent)
     while remaining > 0:
         if remaining & 1:
-            accumulator = (
-                np.array(base)
-                if accumulator is None
-                else minplus(accumulator, base, block=block, kernel=kernel)
-            )
+            if accumulator is None:
+                accumulator = np.array(base)
+            else:
+                if acc_spare is None:
+                    acc_spare = np.empty_like(base)
+                minplus(accumulator, base, block=block, kernel=kernel,
+                        out=acc_spare)
+                accumulator, acc_spare = acc_spare, accumulator
         remaining >>= 1
         if remaining:
-            base = minplus(base, base, block=block, kernel=kernel)
+            if base_spare is None:
+                base_spare = np.empty_like(base)
+            minplus(base, base, block=block, kernel=kernel, out=base_spare)
+            base, base_spare = base_spare, base
     assert accumulator is not None
     return accumulator
 
@@ -391,17 +444,27 @@ def minplus_gather(
     summary="row-blocked numpy broadcasting (reference; best for small n)",
 )
 def _kernel_broadcast(
-    a: np.ndarray, b: np.ndarray, block: Optional[int], memory_budget: int
+    a: np.ndarray,
+    b: np.ndarray,
+    block: Optional[int],
+    memory_budget: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     block = 64 if block is None else max(1, int(block))
-    out = np.empty((a.shape[0], b.shape[1]), dtype=np.float64)
+    if out is None:
+        out = np.empty((a.shape[0], b.shape[1]), dtype=np.float64)
     for start in range(0, a.shape[0], block):
         stop = min(start + block, a.shape[0])
         out[start:stop] = (a[start:stop, :, None] + b[None, :, :]).min(axis=1)
     return out
 
 
-def _tiled_product(a: np.ndarray, b: np.ndarray, memory_budget: int) -> np.ndarray:
+def _tiled_product(
+    a: np.ndarray,
+    b: np.ndarray,
+    memory_budget: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Two-axis tiled product over any dtype with exact add/min semantics.
 
     Shared by the ``tiled`` kernel (float64) and the ``int-repack`` paths
@@ -415,7 +478,8 @@ def _tiled_product(a: np.ndarray, b: np.ndarray, memory_budget: int) -> np.ndarr
     itemsize = a.dtype.itemsize
     bj = min(m, 256)
     bi = max(1, min(n, memory_budget // (itemsize * max(1, k) * bj)))
-    out = np.empty((n, m), dtype=a.dtype)
+    if out is None or out.dtype != a.dtype:
+        out = np.empty((n, m), dtype=a.dtype)
     scratch = np.empty((bi, k, bj), dtype=a.dtype)
     for col_start in range(0, m, bj):
         col_stop = min(col_start + bj, m)
@@ -437,9 +501,13 @@ def _tiled_product(a: np.ndarray, b: np.ndarray, memory_budget: int) -> np.ndarr
     summary="two-axis cache-tiled product, scratch bounded by a memory budget",
 )
 def _kernel_tiled(
-    a: np.ndarray, b: np.ndarray, block: Optional[int], memory_budget: int
+    a: np.ndarray,
+    b: np.ndarray,
+    block: Optional[int],
+    memory_budget: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    return _tiled_product(a, b, memory_budget)
+    return _tiled_product(a, b, memory_budget, out=out)
 
 
 @register_kernel(
@@ -448,9 +516,13 @@ def _kernel_tiled(
     "falls back to tiled otherwise",
 )
 def _kernel_int_repack(
-    a: np.ndarray, b: np.ndarray, block: Optional[int], memory_budget: int
+    a: np.ndarray,
+    b: np.ndarray,
+    block: Optional[int],
+    memory_budget: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    return _int_repack_product(a, b, memory_budget, integral=None)
+    return _int_repack_product(a, b, memory_budget, integral=None, out=out)
 
 
 def _int_repack_product(
@@ -458,13 +530,14 @@ def _int_repack_product(
     b: np.ndarray,
     memory_budget: int,
     integral: Optional[bool],
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """int-repack body; ``integral=True`` skips the recheck when the
     dispatcher's auto-selection already classified both inputs."""
     if integral is None:
         integral = _is_integral(a) and _is_integral(b)
     if not integral:
-        return _tiled_product(a, b, memory_budget)
+        return _tiled_product(a, b, memory_budget, out=out)
     largest = max(_max_abs_finite(a), _max_abs_finite(b))
     if largest <= _FLOAT32_EXACT_MAX:
         # float32 halves memory bandwidth; inf needs no sentinel and all
@@ -472,17 +545,23 @@ def _int_repack_product(
         out32 = _tiled_product(
             a.astype(np.float32), b.astype(np.float32), memory_budget
         )
+        if out is not None:
+            np.copyto(out, out32)
+            return out
         return out32.astype(np.float64)
     if largest < _INT_EXACT_MAX:
         a64 = np.where(np.isfinite(a), a, float(_INT_SENTINEL)).astype(np.int64)
         b64 = np.where(np.isfinite(b), b, float(_INT_SENTINEL)).astype(np.int64)
         out64 = _tiled_product(a64, b64, memory_budget)
-        out = out64.astype(np.float64)
+        if out is None:
+            out = out64.astype(np.float64)
+        else:
+            np.copyto(out, out64, casting="unsafe")
         out[out64 >= _INT_INF_THRESHOLD] = INF
         return out
     # Values large enough that float64 addition itself rounds: only the
     # reference semantics are well-defined, so stay in float64.
-    return _tiled_product(a, b, memory_budget)
+    return _tiled_product(a, b, memory_budget, out=out)
 
 
 _numba_impl: Optional[Callable] = None
@@ -524,11 +603,19 @@ if importlib.util.find_spec("numba") is not None:  # pragma: no cover
         requires="numba",
     )
     def _kernel_numba(
-        a: np.ndarray, b: np.ndarray, block: Optional[int], memory_budget: int
+        a: np.ndarray,
+        b: np.ndarray,
+        block: Optional[int],
+        memory_budget: int,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        return _get_numba_impl()(
+        result = _get_numba_impl()(
             np.ascontiguousarray(a), np.ascontiguousarray(b)
         )
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
 
 
 __all__ = [

@@ -1,0 +1,590 @@
+"""Sharded min-plus kernel: blocked tiles across a persistent process pool.
+
+The scale-out plane for the tropical product.  ``minplus(A, B)`` is
+decomposed into ``(tile, tile)`` output tiles; the operands are placed
+where worker processes can reach them without pickling matrices —
+``multiprocessing.shared_memory`` segments in-core, ``np.memmap`` files
+out-of-core — and the tile tasks are scheduled across one persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` that survives between
+calls (spawning a pool per product would dominate the runtime).
+
+Correctness contract: every output element is ``min_k a[i, k] + b[k, j]``
+over float64 sums, and a minimum over identically-computed float64 values
+is independent of the order the candidates are visited in.  Any tile /
+k-panel decomposition is therefore **bit-identical** to the ``broadcast``
+reference kernel.  The float32 policy trades that guarantee for half the
+bandwidth and footprint (still *exact* for integer weights below 2^23,
+the float32 exact-integer limit) and is opt-in via :class:`ShardPlan`;
+results computed under it are flagged in ``Estimate.meta`` by the solver
+facade.
+
+A :class:`ShardPlan` travels the same arg > ContextVar > environment
+surface as kernel names: pass one to :func:`sharded_minplus`, scope one
+with :func:`use_shard_plan` (captured and re-applied by
+``ApspSolver.solve_many`` exactly like the kernel pin), or set the
+``REPRO_SHARD_*`` environment variables.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+import threading
+import uuid
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .kernels import DEFAULT_MEMORY_BUDGET, INF, register_kernel
+
+#: Environment variables configuring the default :class:`ShardPlan`.
+SHARD_WORKERS_ENV = "REPRO_SHARD_WORKERS"
+SHARD_TILE_ENV = "REPRO_SHARD_TILE"
+SHARD_PLACEMENT_ENV = "REPRO_SHARD_PLACEMENT"
+SHARD_DTYPE_ENV = "REPRO_SHARD_DTYPE"
+
+SHARD_ENV_VARS = (
+    SHARD_WORKERS_ENV,
+    SHARD_TILE_ENV,
+    SHARD_PLACEMENT_ENV,
+    SHARD_DTYPE_ENV,
+)
+
+PLACEMENTS = ("auto", "shared", "memmap", "inline")
+DTYPE_POLICIES = ("float64", "float32")
+
+#: Above this combined operand+output size (bytes), ``placement="auto"``
+#: leaves RAM and stages the product through memmap files instead of
+#: shared-memory segments.
+DEFAULT_MEMMAP_THRESHOLD = 256 * 2**20
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one sharded product is decomposed, placed, and scheduled.
+
+    ``tile``
+        Edge length of the square output tiles (the unit of scheduling).
+    ``workers``
+        Process-pool size; ``None`` auto-sizes to ``os.cpu_count()`` and
+        ``0`` runs every tile inline in the calling process (no pool —
+        the placement machinery is still exercised).
+    ``placement``
+        Where operands live: ``"shared"`` (shared-memory segments),
+        ``"memmap"`` (temp files, out-of-core), ``"inline"`` (plain
+        arrays; only meaningful with ``workers=0``), or ``"auto"`` —
+        memmap above ``memmap_threshold`` bytes, shared below it.
+    ``dtype``
+        ``"float64"`` (bit-identical to the broadcast reference) or
+        ``"float32"`` (opt-in half-footprint policy; exact only for
+        integer values below 2^23).
+    """
+
+    tile: int = 256
+    workers: Optional[int] = None
+    placement: str = "auto"
+    dtype: str = "float64"
+    memmap_threshold: int = DEFAULT_MEMMAP_THRESHOLD
+    memmap_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if int(self.tile) < 1:
+            raise ValueError("tile must be >= 1")
+        if self.workers is not None and int(self.workers) < 0:
+            raise ValueError("workers must be >= 0 (0 = inline)")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+        if self.dtype not in DTYPE_POLICIES:
+            raise ValueError(
+                f"dtype must be one of {DTYPE_POLICIES}, got {self.dtype!r}"
+            )
+        if int(self.memmap_threshold) < 0:
+            raise ValueError("memmap_threshold must be >= 0")
+        object.__setattr__(self, "tile", int(self.tile))
+        if self.workers is not None:
+            object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(self, "memmap_threshold", int(self.memmap_threshold))
+
+    def resolved_workers(self) -> int:
+        """The concrete pool size this plan schedules onto."""
+        if self.workers is None:
+            return max(1, os.cpu_count() or 1)
+        return int(self.workers)
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.dtype == "float32" else np.float64)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe description (lands in ``Estimate.meta``)."""
+        return {
+            "tile": int(self.tile),
+            "workers": None if self.workers is None else int(self.workers),
+            "resolved_workers": self.resolved_workers(),
+            "placement": self.placement,
+            "dtype": self.dtype,
+            "memmap_threshold": int(self.memmap_threshold),
+            "memmap_dir": self.memmap_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardPlan":
+        known = {"tile", "workers", "placement", "dtype",
+                 "memmap_threshold", "memmap_dir"}
+        return cls(**{k: v for k, v in dict(data).items() if k in known})
+
+    @classmethod
+    def from_env(cls) -> "ShardPlan":
+        """A plan from the ``REPRO_SHARD_*`` variables (defaults elsewhere)."""
+        kwargs: Dict[str, Any] = {}
+        workers = os.environ.get(SHARD_WORKERS_ENV)
+        if workers:
+            kwargs["workers"] = int(workers)
+        tile = os.environ.get(SHARD_TILE_ENV)
+        if tile:
+            kwargs["tile"] = int(tile)
+        placement = os.environ.get(SHARD_PLACEMENT_ENV)
+        if placement:
+            kwargs["placement"] = placement
+        dtype = os.environ.get(SHARD_DTYPE_ENV)
+        if dtype:
+            kwargs["dtype"] = dtype
+        return cls(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Ambient plan (context + environment), mirroring the kernel pin
+# --------------------------------------------------------------------- #
+
+_ambient_plan: ContextVar[Optional[ShardPlan]] = ContextVar(
+    "repro_shard_plan", default=None
+)
+
+
+@contextmanager
+def use_shard_plan(plan: Optional[Any]):
+    """Scope a :class:`ShardPlan` for every sharded product inside.
+
+    Accepts a plan, a mapping (``ShardPlan.from_dict``), or ``None``
+    (leave env/default resolution in charge).  A ContextVar, so
+    concurrent solver threads each see only their own plan — and
+    ``ApspSolver.solve_many`` captures/re-applies it in executor workers
+    exactly like the kernel pin.
+    """
+    if plan is not None and not isinstance(plan, ShardPlan):
+        plan = ShardPlan.from_dict(plan)
+    token = _ambient_plan.set(plan)
+    try:
+        yield plan
+    finally:
+        _ambient_plan.reset(token)
+
+
+def current_shard_plan() -> Optional[ShardPlan]:
+    """The explicit ambient plan, if any (context, then environment).
+
+    ``None`` when neither a :func:`use_shard_plan` scope nor any
+    ``REPRO_SHARD_*`` variable is set — the sharded kernel then runs on
+    plan defaults.  The non-``None`` result is picklable, so
+    ``solve_many`` can hand it to process workers.
+    """
+    plan = _ambient_plan.get()
+    if plan is not None:
+        return plan
+    if any(os.environ.get(name) for name in SHARD_ENV_VARS):
+        return ShardPlan.from_env()
+    return None
+
+
+def resolve_shard_plan(plan: Optional[Any] = None) -> ShardPlan:
+    """The plan a sharded product will actually run under."""
+    if plan is not None:
+        return plan if isinstance(plan, ShardPlan) else ShardPlan.from_dict(plan)
+    return current_shard_plan() or ShardPlan()
+
+
+# --------------------------------------------------------------------- #
+# Persistent worker pool
+# --------------------------------------------------------------------- #
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_pool_lock = threading.Lock()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is None or _pool_workers != workers:
+            if _pool is not None:
+                _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = ProcessPoolExecutor(max_workers=workers)
+            _pool_workers = workers
+        return _pool
+
+
+def shutdown_shard_pool() -> None:
+    """Tear down the persistent tile pool (idempotent; re-created lazily)."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+            _pool_workers = 0
+
+
+atexit.register(shutdown_shard_pool)
+
+
+# --------------------------------------------------------------------- #
+# Tile execution (runs in workers and inline)
+# --------------------------------------------------------------------- #
+
+
+def _minplus_tile(
+    a_rows: np.ndarray,
+    b_cols: np.ndarray,
+    out_tile: np.ndarray,
+    memory_budget: int,
+) -> None:
+    """One output tile: ``out[i, j] = min_k a_rows[i, k] + b_cols[k, j]``.
+
+    The inner k-dimension is swept in panels sized so the broadcast
+    temporary stays inside ``memory_budget`` — with memmap operands this
+    is what bounds the resident working set per task.
+    """
+    rows, k = a_rows.shape
+    cols = b_cols.shape[1]
+    itemsize = a_rows.dtype.itemsize
+    panel = int(max(1, min(k, memory_budget // max(1, itemsize * rows * cols))))
+    acc = np.full((rows, cols), INF, dtype=a_rows.dtype)
+    for k0 in range(0, k, panel):
+        k1 = min(k0 + panel, k)
+        segment = np.ascontiguousarray(b_cols[k0:k1])
+        sums = a_rows[:, k0:k1, None] + segment[None, :, :]
+        np.minimum(acc, sums.min(axis=1), out=acc)
+    out_tile[...] = acc
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    # Forked pool workers share the creator's resource-tracker process,
+    # whose per-type cache is a *set*: the attach's re-registration
+    # deduplicates against the creator's entry, and the creator's
+    # ``unlink()`` retires it exactly once.  No tracker surgery needed —
+    # a worker-side unregister would instead delete the creator's entry.
+    return shared_memory.SharedMemory(name=name)
+
+
+def _tile_worker(item: Tuple[Dict[str, Any], Tuple[int, int, int, int]]) -> None:
+    """Compute one tile against shared-memory or memmap operands."""
+    spec, (i0, i1, j0, j1) = item
+    dtype = np.dtype(spec["dtype"])
+    budget = int(spec["budget"])
+    a_shape = tuple(spec["a_shape"])
+    b_shape = tuple(spec["b_shape"])
+    out_shape = tuple(spec["out_shape"])
+    if spec["kind"] == "shm":
+        seg_a = _attach_shm(spec["a"])
+        seg_b = _attach_shm(spec["b"])
+        seg_out = _attach_shm(spec["out"])
+        try:
+            a = np.ndarray(a_shape, dtype=dtype, buffer=seg_a.buf)
+            b = np.ndarray(b_shape, dtype=dtype, buffer=seg_b.buf)
+            out = np.ndarray(out_shape, dtype=dtype, buffer=seg_out.buf)
+            _minplus_tile(a[i0:i1], b[:, j0:j1], out[i0:i1, j0:j1], budget)
+        finally:
+            a = b = out = None
+            for segment in (seg_a, seg_b, seg_out):
+                try:
+                    segment.close()
+                except BufferError:  # pragma: no cover - defensive
+                    pass
+    else:
+        a = np.memmap(spec["a"], dtype=dtype, mode="r", shape=a_shape)
+        b = np.memmap(spec["b"], dtype=dtype, mode="r", shape=b_shape)
+        out = np.memmap(spec["out"], dtype=dtype, mode="r+", shape=out_shape)
+        _minplus_tile(a[i0:i1], b[:, j0:j1], out[i0:i1, j0:j1], budget)
+        out.flush()
+
+
+def _run_tasks(
+    spec: Dict[str, Any],
+    tasks: List[Tuple[int, int, int, int]],
+    workers: int,
+) -> None:
+    items = [(spec, coords) for coords in tasks]
+    if workers <= 0:
+        for item in items:
+            _tile_worker(item)
+        return
+    pool = _get_pool(workers)
+    try:
+        chunksize = max(1, len(items) // (workers * 4))
+        for _ in pool.map(_tile_worker, items, chunksize=chunksize):
+            pass
+    except BrokenProcessPool:
+        shutdown_shard_pool()
+        raise
+
+
+# --------------------------------------------------------------------- #
+# The sharded product
+# --------------------------------------------------------------------- #
+
+
+def _resolve_placement(plan: ShardPlan, total_bytes: int, workers: int) -> str:
+    placement = plan.placement
+    if placement == "auto":
+        if total_bytes >= plan.memmap_threshold:
+            return "memmap"
+        return "inline" if workers == 0 else "shared"
+    if placement == "inline" and workers > 0:
+        # Pool workers cannot see plain caller arrays; promote to shared.
+        return "shared"
+    return placement
+
+
+def _tile_grid(n: int, m: int, tile: int) -> List[Tuple[int, int, int, int]]:
+    return [
+        (i0, min(i0 + tile, n), j0, min(j0 + tile, m))
+        for i0 in range(0, n, tile)
+        for j0 in range(0, m, tile)
+    ]
+
+
+def _collect(
+    computed: np.ndarray, out: Optional[np.ndarray]
+) -> np.ndarray:
+    """Copy the (possibly float32, possibly shm/memmap-backed) result out."""
+    if out is not None:
+        np.copyto(out, computed, casting="same_kind")
+        return out
+    if computed.dtype == np.float64:
+        return np.array(computed)
+    return computed.astype(np.float64)
+
+
+def sharded_minplus(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    plan: Optional[Any] = None,
+    memory_budget: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+    return_memmap: bool = False,
+) -> np.ndarray:
+    """Tile-sharded min-plus product under a :class:`ShardPlan`.
+
+    Returns a float64 array (upcast from float32 when the plan's dtype
+    policy is ``"float32"``).  ``return_memmap=True`` with memmap
+    placement instead hands back the output ``np.memmap`` itself (in the
+    plan's compute dtype, never copied into RAM); its backing directory
+    is removed when the array is garbage-collected.
+    """
+    plan = resolve_shard_plan(plan)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions must agree")
+    n, k = a.shape
+    m = b.shape[1]
+    if memory_budget is None:
+        memory_budget = int(
+            os.environ.get("REPRO_MINPLUS_BUDGET", DEFAULT_MEMORY_BUDGET)
+        )
+    if out is not None:
+        out = np.asarray(out)
+        if out.shape != (n, m):
+            raise ValueError(f"out must be ({n}, {m}); got {out.shape}")
+        if out.dtype != np.float64 or not out.flags.writeable:
+            raise ValueError("out must be a writable float64 array")
+    if k == 0:
+        if out is not None:
+            out.fill(INF)
+            return out
+        return np.full((n, m), INF)
+    if n == 0 or m == 0:
+        return out if out is not None else np.empty((n, m), dtype=np.float64)
+
+    dtype = plan.numpy_dtype()
+    a_cast = np.ascontiguousarray(a, dtype=dtype)
+    b_cast = np.ascontiguousarray(b, dtype=dtype)
+    workers = plan.resolved_workers()
+    total_bytes = a_cast.nbytes + b_cast.nbytes + n * m * dtype.itemsize
+    placement = _resolve_placement(plan, total_bytes, workers)
+    tasks = _tile_grid(n, m, plan.tile)
+
+    if placement == "inline":
+        local = np.empty((n, m), dtype=dtype)
+        for i0, i1, j0, j1 in tasks:
+            _minplus_tile(
+                a_cast[i0:i1], b_cast[:, j0:j1], local[i0:i1, j0:j1],
+                memory_budget,
+            )
+        return _collect(local, out)
+
+    if placement == "shared":
+        return _shared_product(
+            a_cast, b_cast, tasks, workers, memory_budget, out
+        )
+    return _memmap_product(
+        a_cast, b_cast, tasks, workers, memory_budget, out, plan,
+        return_memmap,
+    )
+
+
+def _shared_product(
+    a_cast: np.ndarray,
+    b_cast: np.ndarray,
+    tasks: List[Tuple[int, int, int, int]],
+    workers: int,
+    memory_budget: int,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    n, k = a_cast.shape
+    m = b_cast.shape[1]
+    dtype = a_cast.dtype
+    segments: List[shared_memory.SharedMemory] = []
+    a_view = b_view = out_view = None
+    try:
+        names = []
+        for nbytes in (a_cast.nbytes, b_cast.nbytes, n * m * dtype.itemsize):
+            segment = shared_memory.SharedMemory(
+                create=True,
+                size=max(1, int(nbytes)),
+                name=f"repro-shard-{uuid.uuid4().hex[:16]}",
+            )
+            segments.append(segment)
+            names.append(segment.name)
+        a_view = np.ndarray((n, k), dtype=dtype, buffer=segments[0].buf)
+        b_view = np.ndarray((k, m), dtype=dtype, buffer=segments[1].buf)
+        out_view = np.ndarray((n, m), dtype=dtype, buffer=segments[2].buf)
+        a_view[...] = a_cast
+        b_view[...] = b_cast
+        spec = {
+            "kind": "shm",
+            "dtype": dtype.str,
+            "budget": int(memory_budget),
+            "a": names[0],
+            "b": names[1],
+            "out": names[2],
+            "a_shape": (n, k),
+            "b_shape": (k, m),
+            "out_shape": (n, m),
+        }
+        _run_tasks(spec, tasks, workers)
+        return _collect(out_view, out)
+    finally:
+        a_view = b_view = out_view = None
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
+
+
+def _memmap_product(
+    a_cast: np.ndarray,
+    b_cast: np.ndarray,
+    tasks: List[Tuple[int, int, int, int]],
+    workers: int,
+    memory_budget: int,
+    out: Optional[np.ndarray],
+    plan: ShardPlan,
+    return_memmap: bool,
+) -> np.ndarray:
+    n, k = a_cast.shape
+    m = b_cast.shape[1]
+    dtype = a_cast.dtype
+    tmpdir = tempfile.mkdtemp(prefix="repro-shard-", dir=plan.memmap_dir)
+    handed_over = False
+    try:
+        paths = {
+            name: os.path.join(tmpdir, f"{name}.bin")
+            for name in ("a", "b", "out")
+        }
+        for path, source, shape in (
+            (paths["a"], a_cast, (n, k)),
+            (paths["b"], b_cast, (k, m)),
+        ):
+            staged = np.memmap(path, dtype=dtype, mode="w+", shape=shape)
+            staged[...] = source
+            staged.flush()
+            del staged
+        out_mm = np.memmap(paths["out"], dtype=dtype, mode="w+", shape=(n, m))
+        out_mm.flush()
+        del out_mm
+        spec = {
+            "kind": "mmap",
+            "dtype": dtype.str,
+            "budget": int(memory_budget),
+            "a": paths["a"],
+            "b": paths["b"],
+            "out": paths["out"],
+            "a_shape": (n, k),
+            "b_shape": (k, m),
+            "out_shape": (n, m),
+        }
+        _run_tasks(spec, tasks, workers)
+        result_mm = np.memmap(paths["out"], dtype=dtype, mode="r+", shape=(n, m))
+        if return_memmap and out is None:
+            # The caller keeps the output file; the input staging files go
+            # now, the directory goes when the array does.
+            os.remove(paths["a"])
+            os.remove(paths["b"])
+            weakref.finalize(result_mm, shutil.rmtree, tmpdir, ignore_errors=True)
+            handed_over = True
+            return result_mm
+        result = _collect(result_mm, out)
+        del result_mm
+        return result
+    finally:
+        if not handed_over:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+@register_kernel(
+    "sharded",
+    summary="blocked tiles over a persistent process pool "
+    "(shared-memory in-core, memmap out-of-core; ShardPlan-configured)",
+)
+def _kernel_sharded(
+    a: np.ndarray,
+    b: np.ndarray,
+    block: Optional[int],
+    memory_budget: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    return sharded_minplus(a, b, memory_budget=memory_budget, out=out)
+
+
+__all__ = [
+    "DEFAULT_MEMMAP_THRESHOLD",
+    "DTYPE_POLICIES",
+    "PLACEMENTS",
+    "SHARD_DTYPE_ENV",
+    "SHARD_ENV_VARS",
+    "SHARD_PLACEMENT_ENV",
+    "SHARD_TILE_ENV",
+    "SHARD_WORKERS_ENV",
+    "ShardPlan",
+    "current_shard_plan",
+    "resolve_shard_plan",
+    "sharded_minplus",
+    "shutdown_shard_pool",
+    "use_shard_plan",
+]

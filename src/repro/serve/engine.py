@@ -115,6 +115,7 @@ def route_batch(
     targets: Sequence[int],
     max_hops: Optional[int] = None,
     record_paths: bool = False,
+    chunk_queries: Optional[int] = None,
 ) -> BatchRoutes:
     """Greedily forward many packets at once over the oracle's table.
 
@@ -122,10 +123,14 @@ def route_batch(
     on arrival, dead end, revisit (loop), or after ``max_hops`` (default
     ``2 n``, as in ``greedy_route``).  ``record_paths=True`` additionally
     materialises the ``(q, hops+1)`` node-sequence matrix (``-1``-padded).
+
+    ``chunk_queries`` row-shards the batch: at most that many packets are
+    in flight at once, bounding the ``(q, n)`` visited bitmap (the
+    routing state that dominates memory at ``n = 4096``).  Queries are
+    mutually independent, so the chunked result is bit-identical to the
+    unchunked one — the shards are simply concatenated back in order.
     """
     n = oracle.n
-    table = oracle.next_hop
-    hop_weight = oracle.hop_weight
     sources = np.asarray(sources, dtype=np.int64)
     targets = np.asarray(targets, dtype=np.int64)
     sources, targets = np.broadcast_arrays(sources, targets)
@@ -140,6 +145,60 @@ def route_batch(
     if max_hops is None:
         max_hops = 2 * n
     max_hops = int(max_hops)
+    if chunk_queries is not None:
+        chunk_queries = int(chunk_queries)
+        if chunk_queries < 1:
+            raise ValueError("chunk_queries must be >= 1")
+        if q > chunk_queries:
+            shards = [
+                _route_arrays(
+                    oracle,
+                    sources[lo: lo + chunk_queries],
+                    targets[lo: lo + chunk_queries],
+                    max_hops,
+                    record_paths,
+                )
+                for lo in range(0, q, chunk_queries)
+            ]
+            return _concat_routes(shards, record_paths)
+    return _route_arrays(oracle, sources, targets, max_hops, record_paths)
+
+
+def _concat_routes(shards: List[BatchRoutes], record_paths: bool) -> BatchRoutes:
+    """Stitch per-shard results back into one in-order batch."""
+    status = np.concatenate([s.status for s in shards])
+    paths: Optional[np.ndarray] = None
+    if record_paths:
+        total = sum(s.size for s in shards)
+        width = max(s.paths.shape[1] for s in shards)
+        paths = np.full((total, width), -1, dtype=np.int64)
+        row = 0
+        for shard in shards:
+            paths[row: row + shard.size, : shard.paths.shape[1]] = shard.paths
+            row += shard.size
+    return BatchRoutes(
+        sources=np.concatenate([s.sources for s in shards]),
+        targets=np.concatenate([s.targets for s in shards]),
+        delivered=status == STATUS_DELIVERED,
+        lengths=np.concatenate([s.lengths for s in shards]),
+        hops=np.concatenate([s.hops for s in shards]),
+        status=status,
+        paths=paths,
+    )
+
+
+def _route_arrays(
+    oracle: DistanceOracle,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    max_hops: int,
+    record_paths: bool,
+) -> BatchRoutes:
+    """The hop loop over one validated, already-broadcast query block."""
+    n = oracle.n
+    table = oracle.next_hop
+    hop_weight = oracle.hop_weight
+    q = len(sources)
 
     current = sources.copy()
     lengths = np.zeros(q, dtype=np.float64)

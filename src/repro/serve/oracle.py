@@ -22,7 +22,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+import weakref
 from dataclasses import dataclass, field
+from shutil import rmtree
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -44,6 +48,16 @@ from ..semiring.minplus import k_smallest_in_rows
 #: Format tag stored in every serialized oracle payload.
 ORACLE_FORMAT = "repro.distance-oracle"
 ORACLE_VERSION = 1
+
+
+def _memmap_backed(array: np.ndarray) -> bool:
+    """Whether ``array`` (or any base it views) is an ``np.memmap``."""
+    seen: Optional[np.ndarray] = array
+    while seen is not None:
+        if isinstance(seen, np.memmap):
+            return True
+        seen = getattr(seen, "base", None)
+    return False
 
 
 @dataclass
@@ -84,6 +98,8 @@ class DistanceOracle:
         graph: WeightedGraph,
         source: Union[Estimate, np.ndarray],
         meta: Optional[Mapping[str, Any]] = None,
+        chunk_elems: Optional[int] = None,
+        memmap_dir: Optional[str] = None,
     ) -> "DistanceOracle":
         """Assemble the artifact from a graph and an estimate.
 
@@ -91,28 +107,59 @@ class DistanceOracle:
         :class:`~repro.api.ApspResult`) or a bare ``(n, n)`` matrix.
         Provenance available on the source (variant, factor, seed) lands
         in ``meta``; explicit ``meta`` entries win.
+
+        Construction is row-sharded: the forwarding table *and* the
+        per-hop edge weights come out of one chunked
+        :func:`next_hop_table` pass over the CSR adjacency, so nothing
+        beyond the three output matrices is ever materialised —
+        ``chunk_elems`` bounds the resident score tensors.  With
+        ``memmap_dir`` the two derived ``(n, n)`` outputs are backed by
+        memmap files under a fresh subdirectory there (removed when the
+        oracle is garbage-collected), and a float32 or memmap-backed
+        ``source`` estimate is adopted as-is instead of being copied to
+        a dense float64 array — the out-of-core build path for
+        ``n >= 4096``.
         """
         if isinstance(source, Estimate):
-            estimate = np.array(source.estimate, dtype=np.float64)
+            raw = np.asarray(source.estimate)
         else:
-            estimate = np.array(source, dtype=np.float64)
+            raw = np.asarray(source)
         n = graph.n
-        if estimate.shape != (n, n):
+        if raw.shape != (n, n):
             raise ValueError(
-                f"estimate must be ({n}, {n}); got {estimate.shape}"
+                f"estimate must be ({n}, {n}); got {raw.shape}"
             )
-        table = next_hop_table(graph, estimate)
-        matrix = graph.matrix()
-        # hop_weight[u, t] = w(u, table[u, t]); the diagonal maps t -> t
-        # (weight 0), -1 entries gather a dummy column and are masked.
-        safe = np.where(table >= 0, table, 0)
-        hop_weight = np.take_along_axis(matrix, safe, axis=1)
-        hop_weight = np.where(table >= 0, hop_weight, np.inf)
+        if raw.dtype == np.float32 or _memmap_backed(raw):
+            # Out-of-core policy: adopt without densifying to float64 —
+            # copying would defeat the point of the compact estimate.
+            estimate = raw
+        else:
+            estimate = np.array(raw, dtype=np.float64)
+        cleanup_dir: Optional[str] = None
+        if memmap_dir is None:
+            table = np.full((n, n), -1, dtype=np.int64)
+            hop_weight = np.full((n, n), np.inf, dtype=np.float64)
+        else:
+            cleanup_dir = tempfile.mkdtemp(prefix="oracle-", dir=memmap_dir)
+            table = np.memmap(
+                os.path.join(cleanup_dir, "next_hop.bin"),
+                dtype=np.int64, mode="w+", shape=(n, n),
+            )
+            hop_weight = np.memmap(
+                os.path.join(cleanup_dir, "hop_weight.bin"),
+                dtype=np.float64, mode="w+", shape=(n, n),
+            )
+        next_hop_table(
+            graph, estimate, chunk_elems=chunk_elems,
+            out=table, hop_weight_out=hop_weight,
+        )
         info: Dict[str, Any] = {
             "n": int(n),
             "graph_hash": graph_content_hash(graph),
             "directed": bool(graph.directed),
         }
+        if estimate.dtype != np.float64:
+            info["estimate_dtype"] = str(estimate.dtype)
         if isinstance(source, Estimate):
             info["factor"] = float(source.factor)
             variant = getattr(source, "variant", "")
@@ -123,12 +170,15 @@ class DistanceOracle:
                 info["seed"] = int(seed)
         if meta:
             info.update(meta)
-        return cls(
+        oracle = cls(
             estimate=estimate,
             next_hop=table,
             hop_weight=hop_weight,
             meta=_jsonable(info),
         )
+        if cleanup_dir is not None:
+            weakref.finalize(oracle, rmtree, cleanup_dir, ignore_errors=True)
+        return oracle
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -146,6 +196,21 @@ class DistanceOracle:
         )
 
     @property
+    def resident_nbytes(self) -> int:
+        """Bytes actually resident in RAM — memmap-backed matrices count 0.
+
+        :class:`~repro.serve.store.OracleStore` charges this (not
+        ``nbytes``) against its byte budget, so out-of-core artifacts are
+        billed for what they really occupy; float32 estimates are billed
+        at half rate through ``nbytes`` itself.
+        """
+        return sum(
+            array.nbytes
+            for array in (self.estimate, self.next_hop, self.hop_weight)
+            if not _memmap_backed(array)
+        )
+
+    @property
     def factor(self) -> float:
         """Declared approximation factor (``nan`` when unknown)."""
         return float(self.meta.get("factor", float("nan")))
@@ -159,6 +224,8 @@ class DistanceOracle:
             "factor": self.factor if np.isfinite(self.factor) else None,
             "graph_hash": str(self.meta.get("graph_hash", "")),
             "nbytes": int(self.nbytes),
+            "resident_nbytes": int(self.resident_nbytes),
+            "estimate_dtype": str(self.estimate.dtype),
         }
 
     def content_key(self) -> str:
@@ -204,7 +271,9 @@ class DistanceOracle:
         sources = self._check_nodes(sources, "sources")
         targets = self._check_nodes(targets, "targets")
         sources, targets = np.broadcast_arrays(sources, targets)
-        return self.estimate[sources, targets]
+        # The gather is already a fresh array; the cast is a no-op for
+        # float64 estimates and upcasts float32 ones exactly.
+        return np.asarray(self.estimate[sources, targets], dtype=np.float64)
 
     def k_nearest(
         self,
@@ -240,7 +309,9 @@ class DistanceOracle:
                 f"got {matrix_encoding!r}"
             )
         if matrix_encoding == "b64":
-            estimate = _matrix_to_b64(self.estimate)
+            # The estimate keeps its storage dtype (float32 artifacts stay
+            # half-size on the wire); the codec record carries it.
+            estimate = _matrix_to_b64(self.estimate, dtype=self.estimate.dtype.str)
             next_hop = _matrix_to_b64(self.next_hop, dtype="<i8")
             hop_weight = _matrix_to_b64(self.hop_weight)
         else:
@@ -252,6 +323,9 @@ class DistanceOracle:
             "version": ORACLE_VERSION,
             "n": self.n,
             "meta": _jsonable(dict(self.meta)),
+            # Storage dtype of the estimate, so the ``list`` encoding (which
+            # serializes float64 values) can restore float32 artifacts too.
+            "estimate_dtype": self.estimate.dtype.str,
             "estimate": estimate,
             "next_hop": next_hop,
             "hop_weight": hop_weight,
@@ -269,7 +343,10 @@ class DistanceOracle:
                 f"oracle payload version {version} is newer than supported "
                 f"version {ORACLE_VERSION}"
             )
-        estimate = _decode_matrix(data["estimate"], np.float64)
+        est_dtype = np.dtype(str(data.get("estimate_dtype", "<f8")))
+        if est_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"unsupported estimate dtype {est_dtype}")
+        estimate = _decode_matrix(data["estimate"], est_dtype)
         next_hop = _decode_matrix(data["next_hop"], np.int64)
         hop_weight = _decode_matrix(data["hop_weight"], np.float64)
         return cls(
@@ -293,17 +370,52 @@ class DistanceOracle:
             sink.write(self.to_json(matrix_encoding=matrix_encoding))
 
     @classmethod
-    def load(cls, path: str) -> "DistanceOracle":
+    def load(
+        cls, path: str, memmap_dir: Optional[str] = None
+    ) -> "DistanceOracle":
+        """Read an artifact back; ``memmap_dir`` rehomes it out-of-core.
+
+        With ``memmap_dir`` set, the decoded matrices are spilled to
+        memmap files under a fresh subdirectory there (removed when the
+        oracle is garbage-collected) — a serving tier can then hold a
+        large reloaded oracle with near-zero resident footprint.
+        """
         with open(path, "r", encoding="utf-8") as source:
-            return cls.from_json(source.read())
+            oracle = cls.from_json(source.read())
+        if memmap_dir is None:
+            return oracle
+        return oracle.memmap_to(memmap_dir)
+
+    def memmap_to(self, directory: str) -> "DistanceOracle":
+        """A clone of this oracle backed by memmap files under ``directory``.
+
+        Each matrix keeps its dtype (float32 estimates stay float32 on
+        disk).  The backing subdirectory is tied to the clone's lifetime
+        via a finalizer.
+        """
+        target = tempfile.mkdtemp(prefix="oracle-", dir=directory)
+        arrays: Dict[str, np.ndarray] = {}
+        for name in ("estimate", "next_hop", "hop_weight"):
+            source = getattr(self, name)
+            spilled = np.memmap(
+                os.path.join(target, f"{name}.bin"),
+                dtype=source.dtype, mode="w+", shape=source.shape,
+            )
+            spilled[...] = source
+            spilled.flush()
+            arrays[name] = spilled
+        clone = DistanceOracle(meta=dict(self.meta), **arrays)
+        weakref.finalize(clone, rmtree, target, ignore_errors=True)
+        return clone
 
 
-def _decode_matrix(payload: Any, dtype: type) -> np.ndarray:
+def _decode_matrix(payload: Any, dtype: Any) -> np.ndarray:
     """Decode either codec into a fresh array of ``dtype``."""
+    dtype = np.dtype(dtype)
     if isinstance(payload, Mapping):
         out = _matrix_from_b64(payload)
-    elif dtype is np.int64:
-        out = np.asarray(payload, dtype=np.int64)
+    elif dtype.kind == "i":
+        out = np.asarray(payload, dtype=dtype)
     else:
         out = _matrix_from_jsonable(payload)
     return np.ascontiguousarray(out, dtype=dtype)

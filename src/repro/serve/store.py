@@ -28,11 +28,27 @@ from .oracle import DistanceOracle
 
 
 def estimate_digest(estimate: Union[Estimate, np.ndarray]) -> str:
-    """Content digest of an estimate matrix (the seed-sensitive part)."""
+    """Content digest of an estimate matrix (the seed-sensitive part).
+
+    float64 and float32 arrays are hashed over their raw bytes in row
+    chunks — a memmap-backed estimate streams through a bounded window
+    instead of being densified, and the float64 digest is byte-for-byte
+    the digest this function always produced.  Other dtypes are cast to
+    float64 first (the historical behaviour).
+    """
     if isinstance(estimate, Estimate):
         estimate = estimate.estimate
-    dense = np.ascontiguousarray(estimate, dtype=np.float64)
-    return hashlib.sha256(dense.tobytes()).hexdigest()
+    arr = np.asarray(estimate)
+    if arr.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        arr = np.ascontiguousarray(estimate, dtype=np.float64)
+    digest = hashlib.sha256()
+    if arr.ndim == 2 and arr.shape[0] > 1:
+        per = max(1, (4 << 20) // max(1, arr.shape[1] * arr.itemsize))
+        for lo in range(0, arr.shape[0], per):
+            digest.update(np.ascontiguousarray(arr[lo: lo + per]).tobytes())
+    else:
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
 
 
 def oracle_key(
@@ -239,20 +255,30 @@ class OracleStore:
                 "aliases": len(self._aliases),
             }
 
+    @staticmethod
+    def _charged_bytes(oracle: DistanceOracle) -> int:
+        """What an oracle costs against the byte budget.
+
+        ``resident_nbytes`` when available: memmap-backed (out-of-core)
+        matrices occupy disk, not the RAM this budget protects, and a
+        float32 estimate is half the float64 ``nbytes`` assumption.
+        """
+        return int(getattr(oracle, "resident_nbytes", oracle.nbytes))
+
     def _insert_locked(self, key: str, oracle: DistanceOracle) -> None:
         """Insert under the held lock and evict LRU-first to both bounds."""
         previous = self._store.pop(key, None)
         if previous is not None:
-            self._bytes -= previous.nbytes
+            self._bytes -= self._charged_bytes(previous)
         self._store[key] = oracle
-        self._bytes += oracle.nbytes
+        self._bytes += self._charged_bytes(oracle)
         # A single artifact larger than max_bytes is kept alone (evicting
         # it immediately would just thrash on every request).
         while len(self._store) > self.max_entries or (
             self._bytes > self.max_bytes and len(self._store) > 1
         ):
             evicted_key, evicted = self._store.popitem(last=False)
-            self._bytes -= evicted.nbytes
+            self._bytes -= self._charged_bytes(evicted)
             self.evictions += 1
             self._aliases = {
                 a: k for a, k in self._aliases.items() if k != evicted_key

@@ -1,0 +1,347 @@
+"""Tests for the sharded out-of-core min-plus plane (repro.semiring.sharded).
+
+The load-bearing contract is the same as for every other kernel: the
+float64 arm must be **bit-identical** to the ``broadcast`` reference —
+min over identically computed float64 sums is order-independent, so any
+tile decomposition, worker count, and operand placement (inline,
+shared-memory, memmap) must produce the same bytes.  float32 is the
+opt-in out-of-core dtype policy; it is exact for integer weights below
+2**23 and always flagged on solver artifacts via ``meta["shard_plan"]``.
+
+Also covered: ShardPlan resolution precedence (argument > ``use_shard_plan``
+context > ``REPRO_SHARD_*`` environment > defaults), ``out=`` buffer
+semantics of the dispatcher, the ping-pong buffer reuse of
+``minplus_power``, the solver-facade hand-off, and the CLI flags that
+compile into a plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ApspSolver, SolverConfig
+from repro.graphs import erdos_renyi
+from repro.semiring import (
+    SHARD_DTYPE_ENV,
+    SHARD_PLACEMENT_ENV,
+    SHARD_TILE_ENV,
+    SHARD_WORKERS_ENV,
+    ShardPlan,
+    current_shard_plan,
+    kernel_names,
+    minplus,
+    minplus_power,
+    resolve_shard_plan,
+    sharded_minplus,
+    use_shard_plan,
+)
+
+from tests.helpers import make_rng
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def reference(a, b):
+    return minplus(a, b, kernel="broadcast")
+
+
+def random_matrix(rng, shape, *, integral=True, inf_frac=0.25, lo=1, hi=100):
+    if integral:
+        out = rng.integers(lo, hi, shape).astype(np.float64)
+    else:
+        out = rng.uniform(lo, hi, shape)
+    out[rng.random(shape) < inf_frac] = np.inf
+    return out
+
+
+class TestShardPlan:
+    def test_defaults(self):
+        plan = ShardPlan()
+        assert plan.tile == 256
+        assert plan.placement == "auto"
+        assert plan.dtype == "float64"
+        assert plan.resolved_workers() >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tile": 0},
+            {"workers": -1},
+            {"placement": "cloud"},
+            {"dtype": "float16"},
+            {"memmap_threshold": -1},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardPlan(**kwargs)
+
+    def test_dict_round_trip(self):
+        plan = ShardPlan(tile=33, workers=2, placement="memmap", dtype="float32")
+        clone = ShardPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert plan.to_dict()["resolved_workers"] == 2
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(SHARD_TILE_ENV, "48")
+        monkeypatch.setenv(SHARD_WORKERS_ENV, "3")
+        monkeypatch.setenv(SHARD_PLACEMENT_ENV, "shared")
+        monkeypatch.setenv(SHARD_DTYPE_ENV, "float32")
+        plan = ShardPlan.from_env()
+        assert (plan.tile, plan.workers) == (48, 3)
+        assert (plan.placement, plan.dtype) == ("shared", "float32")
+
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.setenv(SHARD_TILE_ENV, "64")
+        # Environment only: picked up by current/resolve.
+        assert current_shard_plan().tile == 64
+        # Context beats environment.
+        with use_shard_plan(ShardPlan(tile=16)):
+            assert current_shard_plan().tile == 16
+            # Explicit argument beats everything.
+            assert resolve_shard_plan({"tile": 8}).tile == 8
+        assert resolve_shard_plan().tile == 64
+        # No env, no context: defaults.
+        monkeypatch.delenv(SHARD_TILE_ENV)
+        assert current_shard_plan() is None
+        assert resolve_shard_plan() == ShardPlan()
+
+    def test_use_shard_plan_accepts_mapping(self):
+        with use_shard_plan({"tile": 12, "workers": 0}) as plan:
+            assert isinstance(plan, ShardPlan)
+            assert current_shard_plan() == ShardPlan(tile=12, workers=0)
+
+
+class TestShardedEquivalence:
+    """float64 sharded results are bit-identical to broadcast."""
+
+    def test_registered(self):
+        assert "sharded" in kernel_names()
+
+    @pytest.mark.parametrize("placement", ["inline", "shared", "memmap"])
+    @pytest.mark.parametrize("tile", [8, 33])
+    @pytest.mark.parametrize("n", [31, 64])
+    def test_placements_and_tiles(self, placement, tile, n):
+        rng = make_rng(100 * n + tile)
+        a = random_matrix(rng, (n, n))
+        b = random_matrix(rng, (n, n), integral=False, inf_frac=0.4)
+        plan = ShardPlan(tile=tile, workers=0, placement=placement)
+        got = sharded_minplus(a, b, plan=plan)
+        assert np.array_equal(got, reference(a, b))
+
+    @pytest.mark.parametrize("placement", ["shared", "memmap"])
+    def test_multiprocess_bit_identical(self, placement):
+        rng = make_rng(7)
+        a = random_matrix(rng, (97, 41))
+        b = random_matrix(rng, (41, 103), integral=False, inf_frac=0.5)
+        plan = ShardPlan(tile=33, workers=2, placement=placement)
+        got = sharded_minplus(a, b, plan=plan)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, reference(a, b))
+
+    def test_non_divisible_tile(self):
+        rng = make_rng(9)
+        a = random_matrix(rng, (65, 65))
+        got = sharded_minplus(a, a, plan=ShardPlan(tile=64, workers=0))
+        assert np.array_equal(got, reference(a, a))
+
+    def test_dispatcher_route(self, monkeypatch):
+        rng = make_rng(11)
+        a = random_matrix(rng, (40, 40))
+        monkeypatch.setenv(SHARD_TILE_ENV, "16")
+        monkeypatch.setenv(SHARD_WORKERS_ENV, "0")
+        assert np.array_equal(minplus(a, a, kernel="sharded"), reference(a, a))
+
+    def test_memmap_threshold_triggers_out_of_core(self, tmp_path):
+        rng = make_rng(13)
+        a = random_matrix(rng, (48, 48))
+        plan = ShardPlan(
+            tile=16,
+            workers=0,
+            placement="auto",
+            memmap_threshold=1,  # everything is out-of-core
+            memmap_dir=str(tmp_path),
+        )
+        got = sharded_minplus(a, a, plan=plan)
+        assert np.array_equal(got, reference(a, a))
+        # Staging directories are torn down on completion.
+        assert not any(tmp_path.iterdir())
+
+    def test_return_memmap_hands_over_result(self, tmp_path):
+        rng = make_rng(14)
+        a = random_matrix(rng, (32, 32))
+        plan = ShardPlan(
+            tile=16, workers=0, placement="memmap", memmap_dir=str(tmp_path)
+        )
+        got = sharded_minplus(a, a, plan=plan, return_memmap=True)
+        assert isinstance(got, np.memmap)
+        assert np.array_equal(np.asarray(got), reference(a, a))
+
+    def test_empty_inner_dimension(self):
+        out = sharded_minplus(
+            np.empty((3, 0)), np.empty((0, 4)), plan=ShardPlan(workers=0)
+        )
+        assert out.shape == (3, 4) and np.all(np.isinf(out))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            sharded_minplus(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestFloat32Policy:
+    def test_exact_for_small_integer_weights(self):
+        rng = make_rng(21)
+        a = random_matrix(rng, (50, 50), lo=1, hi=1000)
+        plan = ShardPlan(tile=16, workers=0, dtype="float32")
+        got = sharded_minplus(a, a, plan=plan)
+        assert got.dtype == np.float64  # result surface stays float64
+        assert np.array_equal(got, reference(a, a))
+
+    def test_fractional_weights_downcast(self):
+        # Documented loss: float32 rounds fractional inputs; results stay
+        # close but are not bit-identical, which is why the policy is
+        # opt-in and flagged in Estimate.meta.
+        rng = make_rng(22)
+        a = random_matrix(rng, (40, 40), integral=False)
+        got = sharded_minplus(
+            a, a, plan=ShardPlan(tile=16, workers=0, dtype="float32")
+        )
+        ref = reference(a, a)
+        finite = np.isfinite(ref)
+        assert np.array_equal(np.isfinite(got), finite)
+        rel = np.abs(got[finite] - ref[finite]) / np.maximum(ref[finite], 1e-30)
+        assert float(rel.max()) < 1e-6
+
+
+class TestOutBuffer:
+    def test_dispatcher_writes_into_out(self):
+        rng = make_rng(31)
+        a = random_matrix(rng, (30, 30))
+        for kernel in kernel_names():
+            out = np.empty((30, 30))
+            result = minplus(a, a, kernel=kernel, out=out)
+            assert result is out, kernel
+            assert np.array_equal(out, reference(a, a)), kernel
+
+    def test_out_validation(self):
+        a = np.zeros((4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            minplus(a, a, out=np.empty((3, 4)))
+        with pytest.raises(ValueError, match="float64"):
+            minplus(a, a, out=np.empty((4, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="share memory"):
+            minplus(a, a, out=a)
+        frozen = np.empty((4, 4))
+        frozen.flags.writeable = False
+        with pytest.raises(ValueError, match="writable"):
+            minplus(a, a, out=frozen)
+
+    def test_sharded_out_across_placements(self):
+        rng = make_rng(32)
+        a = random_matrix(rng, (40, 40))
+        expected = reference(a, a)
+        for placement in ("inline", "shared", "memmap"):
+            out = np.empty((40, 40))
+            plan = ShardPlan(tile=16, workers=0, placement=placement)
+            result = sharded_minplus(a, a, plan=plan, out=out)
+            assert result is out
+            assert np.array_equal(out, expected), placement
+
+
+class TestMinplusPowerPingPong:
+    @pytest.mark.parametrize("kernel", ["broadcast", "tiled", "sharded"])
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 5, 8])
+    def test_matches_iterated_product(self, kernel, exponent):
+        rng = make_rng(41 + exponent)
+        a = random_matrix(rng, (24, 24))
+        np.fill_diagonal(a, 0.0)
+        expected = a
+        for _ in range(exponent - 1):
+            expected = reference(expected, a)
+        with use_shard_plan(ShardPlan(tile=16, workers=0)):
+            got = minplus_power(a, exponent, kernel=kernel)
+        assert np.array_equal(got, expected)
+
+    def test_input_not_mutated(self):
+        rng = make_rng(43)
+        a = random_matrix(rng, (20, 20))
+        np.fill_diagonal(a, 0.0)
+        snapshot = a.copy()
+        minplus_power(a, 5)
+        assert np.array_equal(a, snapshot)
+
+
+class TestSolverHandOff:
+    def test_meta_records_plan_for_sharded_runs(self):
+        graph = erdos_renyi(24, 0.3, make_rng(51))
+        plan = ShardPlan(tile=16, workers=0, placement="inline")
+        solver = ApspSolver(SolverConfig(variant="small-diameter", seed=0))
+        with use_shard_plan(plan):
+            with pytest.MonkeyPatch.context() as mp:
+                mp.setenv("REPRO_MINPLUS_KERNEL", "sharded")
+                result = solver.solve(graph)
+        assert result.meta["kernel_pin"] == "sharded"
+        assert result.meta["shard_plan"]["tile"] == 16
+        assert result.meta["shard_plan"]["placement"] == "inline"
+
+    def test_solve_many_threads_carry_the_plan(self):
+        graphs = [erdos_renyi(20, 0.3, make_rng(s)) for s in (1, 2, 3)]
+        plan = ShardPlan(tile=8, workers=0)
+        config = SolverConfig(variant="small-diameter", seed=0, kernel="sharded")
+        solver = ApspSolver(config)
+        with use_shard_plan(plan):
+            batch = solver.solve_many(graphs, executor="thread", max_workers=3)
+        serial = ApspSolver(
+            SolverConfig(variant="small-diameter", seed=0)
+        ).solve_many(graphs, executor="serial")
+        for result, expected in zip(batch, serial):
+            assert result.meta["shard_plan"]["tile"] == 8
+            # Bit-identity of the full pipeline under the sharded kernel.
+            assert np.array_equal(result.estimate, expected.estimate)
+
+    def test_plain_runs_do_not_carry_plan_meta(self):
+        graph = erdos_renyi(20, 0.3, make_rng(52))
+        result = ApspSolver(SolverConfig(variant="small-diameter", seed=0)).solve(
+            graph
+        )
+        assert "shard_plan" not in result.meta
+
+
+class TestCliFlags:
+    def test_kernels_lists_sharded_and_plan(self, capsys):
+        from repro.cli import main
+
+        assert main(["kernels", "--n", "16", "--workers", "3",
+                     "--tile", "32"]) == 0
+        captured = capsys.readouterr().out
+        assert "sharded" in captured
+        assert "tile=32" in captured and "workers=3" in captured
+
+    def test_run_accepts_shard_flags(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "run", "--n", "24", "--variant", "small-diameter",
+            "--kernel", "sharded", "--workers", "0", "--tile", "16",
+        ]) == 0
+        assert "variant : small-diameter" in capsys.readouterr().out
+
+    def test_profile_accepts_shard_flags(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "profile", "--n", "24", "--variant", "small-diameter",
+            "--kernel", "sharded", "--workers", "0", "--tile", "16",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_flags_override_environment(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv(SHARD_TILE_ENV, "200")
+        monkeypatch.setenv(SHARD_DTYPE_ENV, "float32")
+        assert main(["kernels", "--n", "16", "--tile", "64"]) == 0
+        captured = capsys.readouterr().out
+        # The flag wins for tile; untouched env fields survive.
+        assert "tile=64" in captured and "dtype=float32" in captured
