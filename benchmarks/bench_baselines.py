@@ -16,7 +16,6 @@ spanner baseline and far below the exact baselines.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import spanner_only_baseline
 from repro.analysis import emit, format_table

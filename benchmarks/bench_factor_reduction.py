@@ -10,7 +10,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

@@ -10,7 +10,6 @@ the claimed shape.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.core import build_knearest_hopset

@@ -9,14 +9,13 @@ choices, so every h-combination can be assigned to a distinct node.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger
 from repro.core import knearest_iterated, make_bin_plan
 from repro.semiring import k_smallest_in_rows, minplus_power
 
-from conftest import rng_for, workload
+from conftest import workload
 
 
 def test_rounds_linear_in_iterations(results_sink, benchmark):

@@ -33,7 +33,6 @@ import pytest
 from repro.analysis import emit, format_table
 from repro.core.routing_tables import (
     greedy_route,
-    next_hop_table,
     next_hop_table_reference,
 )
 from repro.graphs import cached_exact_apsp, erdos_renyi

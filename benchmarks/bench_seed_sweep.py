@@ -9,7 +9,6 @@ far typical behaviour sits from the worst case.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import emit
 from repro.analysis.experiments import run_sweep

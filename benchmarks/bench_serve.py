@@ -27,10 +27,8 @@ from __future__ import annotations
 import asyncio
 import json
 import os
-import time
 from typing import Dict, List
 
-import numpy as np
 import pytest
 
 from repro.analysis import emit, format_table

@@ -7,8 +7,6 @@ the end-to-end transfer stretch (exact inner solve, l = 1) against the
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.core import build_skeleton, extend_estimate

@@ -8,13 +8,12 @@ O(log n)-approximation (Corollary 7.2) is built on.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.graphs import exact_apsp
 from repro.spanners import baswana_sengupta_spanner, spanner_edge_bound
 
-from conftest import exact_for, rng_for, workload
+from conftest import rng_for, workload
 
 N = 96
 

@@ -8,8 +8,6 @@ the paper's constants are loose by design), and the ledger round count
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

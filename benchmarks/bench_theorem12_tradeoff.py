@@ -7,7 +7,6 @@ guarantee, the measured stretch, and the ledger rounds.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

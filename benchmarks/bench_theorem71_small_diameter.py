@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

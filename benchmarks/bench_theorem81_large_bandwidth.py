@@ -7,7 +7,6 @@ against 7^3 (1+eps)^2.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

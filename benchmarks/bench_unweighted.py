@@ -11,8 +11,6 @@ practical gap is in the analysis, not the outputs.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

@@ -8,7 +8,6 @@ everywhere; eta <= (1+eps) l d on h-hop-covered pairs).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.core import (
@@ -21,7 +20,7 @@ from repro.core import (
 from repro.graphs import exact_apsp, weighted_diameter_from_matrix
 from repro.semiring import minplus_power
 
-from conftest import exact_for, rng_for, workload
+from conftest import exact_for, workload
 
 N = 64
 H = 6

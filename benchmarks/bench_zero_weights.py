@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import emit, format_table
 from repro.cclique import RoundLedger

@@ -14,7 +14,7 @@ index (E1-E12).  Conventions:
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 import pytest

@@ -109,6 +109,49 @@ def validate_artifact(
     return problems
 
 
+#: Path (relative to the repo root) of the lint-report artifact the
+#: smoke run emits and validates alongside the BENCH_*.json planes.
+LINT_ARTIFACT = "lint_report.json"
+
+
+def run_lint(env: Dict[str, str]) -> bool:
+    command = [
+        sys.executable, "-m", "repro", "lint", "--root", ROOT,
+        "--json", os.path.join(ROOT, LINT_ARTIFACT),
+    ]
+    print("== repro lint", flush=True)
+    return subprocess.run(command, cwd=ROOT, env=env).returncode == 0
+
+
+def validate_lint_artifact(path: str) -> List[str]:
+    """Gate the ``repro lint --json`` report the same way BENCH artifacts
+    are gated: it must exist, parse, come from repro-lint, and be clean."""
+    if not os.path.exists(path):
+        return [f"{path}: not written"]
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            data = json.load(source)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable ({error})"]
+    problems = []
+    if data.get("tool") != "repro-lint":
+        problems.append(f"{path}: tool {data.get('tool')!r} != 'repro-lint'")
+    if data.get("parse_errors"):
+        problems.append(f"{path}: parse errors {data['parse_errors']!r}")
+    for finding in data.get("findings", []):
+        problems.append(
+            f"{path}: finding {finding.get('rule')} at "
+            f"{finding.get('path')}:{finding.get('line')}"
+        )
+    if data.get("clean") is not True and not problems:
+        problems.append(f"{path}: clean flag is {data.get('clean')!r}")
+    if not data.get("files_scanned"):
+        problems.append(f"{path}: files_scanned is {data.get('files_scanned')!r}")
+    if not data.get("rules"):
+        problems.append(f"{path}: rules catalogue is empty")
+    return problems
+
+
 def main() -> int:
     env = dict(os.environ)
     env["REPRO_BENCH_SMOKE"] = "1"
@@ -116,6 +159,8 @@ def main() -> int:
         p for p in (os.path.join(ROOT, "src"), env.get("PYTHONPATH")) if p
     )
     failures: List[str] = []
+    run_lint(env)  # exit code is reflected in the artifact's findings
+    failures.extend(validate_lint_artifact(os.path.join(ROOT, LINT_ARTIFACT)))
     for module, artifact, tag, gate in SUITES:
         if not run_suite(module, env):
             failures.append(f"{module}: pytest failed")
@@ -126,7 +171,7 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nsmoke OK: {len(SUITES)} planes, artifacts validated")
+    print(f"\nsmoke OK: lint + {len(SUITES)} planes, artifacts validated")
     return 0
 
 

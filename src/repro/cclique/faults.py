@@ -41,7 +41,7 @@ import hashlib
 import json
 from collections import deque
 from dataclasses import astuple, dataclass, field, fields
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 

@@ -600,6 +600,35 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the lint plane is pure stdlib-ast tooling that no
+    # other command needs in its import path.
+    from .lint import (
+        get_rule,
+        lint_tree,
+        render_report,
+        render_rule_listing,
+        write_json_report,
+    )
+
+    if args.list_rules:
+        print(render_rule_listing())
+        return 0
+    rules = None
+    if args.rules:
+        rules = [
+            get_rule(rule_id.strip())
+            for rule_id in args.rules.split(",")
+            if rule_id.strip()
+        ]
+    report = lint_tree(args.root, paths=args.paths or None, rules=rules)
+    print(render_report(report))
+    if args.json:
+        write_json_report(report, args.json)
+        print(f"report written to {args.json}")
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -774,6 +803,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the ChaosReport(s) JSON artifact to PATH",
     )
     chaos_parser.set_defaults(handler=cmd_chaos)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the project-invariant static analysis plane",
+        description=(
+            "AST-based lint pass over src/, benchmarks/, tests/, and "
+            "examples/ enforcing the repo's correctness invariants: "
+            "determinism (seeded RNG, no ambient wall clocks), "
+            "concurrency (no blocking under locks, ContextVar pin "
+            "hand-off into executor workers), JSON-safety of snapshots, "
+            "allocation hygiene (out= buffers on hot paths), and "
+            "registry/benchmark metadata contracts.  Exits non-zero on "
+            "any finding — the CI gate."
+        ),
+        epilog=(
+            "Suppress a reviewed exception with a `# lint: allow[rule-id]` "
+            "pragma on the flagged line or the line directly above "
+            "(comma-separate several rule ids; `*` allows every rule). "
+            "Pragmas are for audited sites only — e.g. the wall-clock "
+            "phase profiler in RoundLedger — and should carry a comment "
+            "justifying the exception.  See DESIGN.md section 14 for the "
+            "rule catalogue and how to add a rule."
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the standard scan roots)",
+    )
+    lint_parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root rule scopes are resolved against (default: .)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: every registered rule)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules by family and exit",
+    )
+    lint_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable report artifact to PATH",
+    )
+    lint_parser.set_defaults(handler=cmd_lint)
 
     return parser
 

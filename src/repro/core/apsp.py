@@ -21,8 +21,7 @@ estimate, the guaranteed factor, and the round ledger.
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -59,10 +58,10 @@ def apsp_theorem11(
     ledger: Optional[RoundLedger] = None,
     eps: float = 0.1,
     tradeoff_t: Optional[int] = None,
-    faults=None,
+    faults: Any = None,
     max_retries: int = 0,
     recovery: Optional[str] = None,
-    integrity=None,
+    integrity: Any = None,
 ) -> Estimate:
     """Theorem 1.1 (or Theorem 1.2 when ``tradeoff_t`` is given).
 
@@ -135,7 +134,11 @@ def apsp_theorem11(
     else:
         t_inner = tradeoff_t + 1
 
-        def limited_solver(g, solver_rng, solver_ledger):
+        def limited_solver(
+            g: WeightedGraph,
+            solver_rng: np.random.Generator,
+            solver_ledger: Optional[RoundLedger],
+        ) -> Estimate:
             # Lemma 8.3: the per-scale solver is the round-limited Lemma 8.2
             # in the CC[log^3 n] (exact-skeleton) variant.
             return apsp_round_limited(
@@ -178,10 +181,10 @@ def approximate_apsp(
     t: Optional[int] = None,
     eps: float = 0.1,
     ledger: Optional[RoundLedger] = None,
-    faults=None,
+    faults: Any = None,
     max_retries: int = 0,
     recovery: Optional[str] = None,
-    integrity=None,
+    integrity: Any = None,
 ) -> Estimate:
     """Approximate APSP on a weighted undirected graph — the legacy API.
 

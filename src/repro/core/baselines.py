@@ -46,8 +46,10 @@ def exact_apsp_baseline(
     matrix = np.array(graph.matrix())
     n = graph.n
     squarings = max(1, math.ceil(math.log2(max(2, n))))
+    spare = np.empty_like(matrix)
     for _ in range(squarings):
-        matrix = minplus_square(matrix)
+        minplus_square(matrix, out=spare)
+        matrix, spare = spare, matrix
         if ledger is not None:
             ledger.charge(
                 costs.dense_matmul_rounds(n),
@@ -83,10 +85,12 @@ def uy90_baseline(
 
     # Hop-limited distances: s Bellman-Ford steps, one round each.
     limited = np.array(matrix)
+    limited_spare = np.empty_like(limited)
     steps = 0
     power = 1
     while power < s:
-        limited = minplus_square(limited)
+        minplus_square(limited, out=limited_spare)
+        limited, limited_spare = limited_spare, limited
         power *= 2
         steps += 1
     if ledger is not None:
@@ -103,8 +107,10 @@ def uy90_baseline(
     rows = limited[sample, :]
     among = rows[:, sample]
     closure = np.array(among)
+    closure_spare = np.empty_like(closure)
     for _ in range(max(1, math.ceil(math.log2(max(2, len(sample)))))):
-        closure = minplus(closure, closure)
+        minplus(closure, closure, out=closure_spare)
+        closure, closure_spare = closure_spare, closure
     if ledger is not None:
         ledger.charge_broadcast(
             len(sample) * len(sample),

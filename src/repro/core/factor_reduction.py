@@ -16,8 +16,7 @@ One application turns an ``a``-approximation of APSP into a
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -163,14 +162,14 @@ def _diameter_estimate(delta: np.ndarray) -> float:
 
 
 class _NullContext:
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *args):
+    def __exit__(self, *args: Any) -> None:
         return None
 
 
-def _phase(ledger: Optional[RoundLedger], name: str):
+def _phase(ledger: Optional[RoundLedger], name: str) -> Any:
     """Ledger phase context that tolerates ``ledger is None``."""
     if ledger is None:
         return _NullContext()

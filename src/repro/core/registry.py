@@ -191,7 +191,11 @@ def run_variant(
         params = merged
     resolved = spec.resolve_params(**params)
     spec.check_graph(graph)
-    rng = rng if rng is not None else np.random.default_rng()
+    # Entropy here is an explicit caller opt-in: the public dispatch
+    # boundary defaults to a fresh generator only when no rng/seed was
+    # given, and every internal consumer (facade, CLI, benchmarks)
+    # threads a seeded stream.
+    rng = rng if rng is not None else np.random.default_rng()  # lint: allow[det-unseeded-rng]
     if ledger is None:
         ledger = RoundLedger(graph.n)
     if graph.num_edges and float(graph.edge_w.min()) == 0.0:
@@ -225,7 +229,12 @@ def run_variant(
     randomized=False,
     rounds_note="O(n^(1/3) log n) rounds",
 )
-def _solve_exact(graph, rng, ledger, **_params):
+def _solve_exact(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    **_params: Any,
+) -> Estimate:
     from .baselines import exact_apsp_baseline
 
     return exact_apsp_baseline(graph, ledger=ledger)
@@ -240,7 +249,12 @@ def _solve_exact(graph, rng, ledger, **_params):
     accepted_params=("hop_parameter", "oversample"),
     rounds_note="~sqrt(n) rounds at the default hop parameter",
 )
-def _solve_uy90(graph, rng, ledger, **params):
+def _solve_uy90(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    **params: Any,
+) -> Estimate:
     from .baselines import uy90_baseline
 
     return uy90_baseline(graph, rng, ledger=ledger, **params)
@@ -255,7 +269,12 @@ def _solve_uy90(graph, rng, ledger, **params):
     accepted_params=("alpha",),
     rounds_note="O(1) rounds",
 )
-def _solve_spanner_only(graph, rng, ledger, **params):
+def _solve_spanner_only(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    **params: Any,
+) -> Estimate:
     from .baselines import spanner_only_baseline
 
     return spanner_only_baseline(graph, rng, ledger=ledger, **params)
@@ -273,7 +292,12 @@ def _solve_spanner_only(graph, rng, ledger, **params):
     accepted_params=("mode", "max_reductions", "final_stage", "bootstrap_alpha"),
     rounds_note="O(log log n) rounds for polylog weighted diameter",
 )
-def _solve_small_diameter(graph, rng, ledger, **params):
+def _solve_small_diameter(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    **params: Any,
+) -> Estimate:
     from .small_diameter import apsp_small_diameter
 
     return apsp_small_diameter(graph, rng, ledger=ledger, **params)
@@ -288,7 +312,12 @@ def _solve_small_diameter(graph, rng, ledger, **params):
     accepted_params=("eps",),
     rounds_note="O(log log log n) rounds",
 )
-def _solve_theorem11(graph, rng, ledger, **params):
+def _solve_theorem11(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    **params: Any,
+) -> Estimate:
     from .apsp import apsp_theorem11
 
     return apsp_theorem11(graph, rng, ledger=ledger, **params)
@@ -305,7 +334,14 @@ def _solve_theorem11(graph, rng, ledger, **params):
     default_params={"t": 2},
     rounds_note="O(t) rounds",
 )
-def _solve_tradeoff(graph, rng, ledger, *, t, **params):
+def _solve_tradeoff(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    *,
+    t: int,
+    **params: Any,
+) -> Estimate:
     from .tradeoff import apsp_tradeoff
 
     return apsp_tradeoff(graph, t, rng, ledger=ledger, **params)
@@ -320,7 +356,12 @@ def _solve_tradeoff(graph, rng, ledger, *, t, **params):
     accepted_params=("eps",),
     rounds_note="O(log log n) big-bandwidth rounds",
 )
-def _solve_large_bandwidth(graph, rng, ledger, **params):
+def _solve_large_bandwidth(
+    graph: WeightedGraph,
+    rng: np.random.Generator,
+    ledger: Optional[RoundLedger],
+    **params: Any,
+) -> Estimate:
     from .large_bandwidth import apsp_large_bandwidth
 
     return apsp_large_bandwidth(graph, rng, ledger=ledger, **params)

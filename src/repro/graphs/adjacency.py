@@ -25,7 +25,7 @@ construction layer is written in:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix

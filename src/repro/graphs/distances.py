@@ -285,15 +285,16 @@ def shortest_path_hop_bound(
     hops[np.isclose(matrix, dist) & np.isfinite(dist)] = 1.0
     np.fill_diagonal(hops, 0.0)
     current = np.array(matrix)
+    spare = np.empty_like(current)
     h = 1
     while h < limit:
-        nxt = minplus_square(current)
+        nxt = minplus_square(current, out=spare)
         h *= 2
         newly = np.isclose(nxt, dist) & np.isfinite(dist) & ~np.isfinite(hops)
         # Binary search would be tighter; doubling gives an upper bound
         # within a factor 2, enough for bound checks.
         hops[newly] = float(h)
-        current = nxt
+        current, spare = nxt, current
         if np.all(np.isfinite(hops[np.isfinite(dist)])):
             break
     return hops

@@ -9,7 +9,7 @@ benchmarks share one definition of "stretch".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

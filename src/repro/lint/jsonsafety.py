@@ -1,0 +1,159 @@
+"""JSON-safety rules: snapshots must survive a strict JSON round-trip.
+
+The metrics plane's contract (``ServiceMetrics.snapshot`` and friends)
+is that every emitted payload survives ``json.loads(json.dumps(...))``
+bit-for-bit under a *strict* parser: no ``NaN``, no ``Infinity``, no
+numpy scalars (they serialize but don't round-trip types).  Empty
+streams report ``None``, never ``float("nan")``.
+
+``json-nan-leak`` inspects every function named ``snapshot`` /
+``to_dict`` / ``to_json`` and flags value expressions that can smuggle
+a non-finite or numpy value into the payload:
+
+* numpy reductions (``np.mean``/``.min()``/``.max()``/``.item()`` ...)
+  used without a finiteness guard or sanitizer in the function;
+* explicit ``float("nan")`` / ``float("inf")`` literals;
+* bare division used as a dict/return value outside a conditional
+  expression (the ``x / y if y else None`` guard is the sanctioned
+  shape).
+
+A call is considered guarded when the enclosing function mentions a
+finiteness check (``isfinite``/``isnan``) or routes values through a
+sanitizer (a callee whose name contains ``jsonable``, ``json_safe``,
+``finite`` or ``sanitize``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .framework import Finding, LintContext, call_name, register_rule
+
+#: Function names whose return value is a JSON payload by convention.
+_SNAPSHOT_NAMES = {"snapshot", "to_dict", "to_json"}
+
+#: Method reductions that yield numpy scalars (and can be NaN/inf).
+_NUMPY_REDUCERS = {
+    "min", "max", "mean", "sum", "std", "var", "ptp", "item",
+    "nanmin", "nanmax", "nanmean", "nansum", "quantile", "percentile",
+}
+
+#: Substrings marking a sanitizing callee.
+_SANITIZER_HINTS = ("jsonable", "json_safe", "finite", "sanitize", "isnan")
+
+
+def _mentions_guard(func: ast.AST) -> bool:
+    """Whether the function body contains any finiteness guard at all."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = call_name(node) or ""
+            lowered = name.lower()
+            if any(hint in lowered for hint in _SANITIZER_HINTS):
+                return True
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "isfinite", "isnan", "isinf"
+        ):
+            return True
+    return False
+
+
+def _inside_conditional(ctx: LintContext, node: ast.AST, func: ast.AST) -> bool:
+    """Whether ``node`` sits under an if/ifexp within ``func``."""
+    for ancestor in ctx.ancestors(node):
+        if ancestor is func:
+            return False
+        if isinstance(ancestor, (ast.IfExp, ast.If)):
+            return True
+    return False
+
+
+def _is_nonfinite_float_literal(node: ast.Call) -> bool:
+    name = call_name(node)
+    if name != "float" or len(node.args) != 1:
+        return False
+    arg = node.args[0]
+    return isinstance(arg, ast.Constant) and isinstance(arg.value, str) and (
+        arg.value.lower().strip("+-") in ("nan", "inf", "infinity")
+    )
+
+
+@register_rule(
+    "json-nan-leak",
+    family="json-safety",
+    summary="snapshot/to_dict/to_json payloads must stay strictly JSON-safe",
+)
+def check_nan_leak(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name not in _SNAPSHOT_NAMES:
+            continue
+        guarded = _mentions_guard(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if _is_nonfinite_float_literal(node):
+                    finding = ctx.finding(
+                        node,
+                        "json-nan-leak",
+                        f"{func.name}() emits a non-finite float literal; "
+                        "strict JSON payloads must use None for missing data",
+                    )
+                    if finding:
+                        findings.append(finding)
+                    continue
+                if guarded:
+                    continue
+                name = call_name(node)
+                if name is None:
+                    # ``sorted(x).mean()``-style chains: fall back to the
+                    # attribute name alone.
+                    if isinstance(node.func, ast.Attribute):
+                        attr = node.func.attr
+                        if attr in _NUMPY_REDUCERS:
+                            finding = ctx.finding(
+                                node,
+                                "json-nan-leak",
+                                f"{func.name}() folds .{attr}() into the "
+                                "payload without a finiteness guard; NaN/inf "
+                                "and numpy scalars break the strict JSON "
+                                "round-trip",
+                            )
+                            if finding:
+                                findings.append(finding)
+                    continue
+                parts = name.split(".")
+                if parts[0] in ("np", "numpy") and parts[-1] in _NUMPY_REDUCERS:
+                    reducer = name
+                elif parts[-1] in _NUMPY_REDUCERS and len(parts) > 1:
+                    reducer = f".{parts[-1]}"
+                else:
+                    continue
+                finding = ctx.finding(
+                    node,
+                    "json-nan-leak",
+                    f"{func.name}() folds {reducer}() into the payload "
+                    "without a finiteness guard; NaN/inf and numpy scalars "
+                    "break the strict JSON round-trip",
+                )
+                if finding:
+                    findings.append(finding)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                if guarded or _inside_conditional(ctx, node, func):
+                    continue
+                parent = getattr(node, "_lint_parent", None)
+                emitted = isinstance(parent, (ast.Dict, ast.Return)) or (
+                    isinstance(parent, ast.keyword)
+                )
+                if not emitted:
+                    continue
+                finding = ctx.finding(
+                    node,
+                    "json-nan-leak",
+                    f"{func.name}() emits a bare division; guard it "
+                    "(`x / y if y else None`) so empty streams report None",
+                )
+                if finding:
+                    findings.append(finding)
+    return findings

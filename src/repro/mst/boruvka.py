@@ -12,7 +12,7 @@ triple, which keeps the algorithm deterministic and cycle-free.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..cclique.engine import ArrayClique
-from ..cclique.model import NodeProgram, SimulatedClique
+from ..cclique.model import NodeProgram
 from ..graphs.graph import WeightedGraph
 
 

@@ -163,7 +163,7 @@ _ambient_kernel: ContextVar[Optional[str]] = ContextVar(
 
 
 @contextmanager
-def use_kernel(name: Optional[str]):
+def use_kernel(name: Optional[str]) -> Iterator[None]:
     """Context manager fixing the kernel for every :func:`minplus` inside.
 
     ``None`` and ``"auto"`` leave auto-selection in charge.  The setting

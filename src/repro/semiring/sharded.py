@@ -40,7 +40,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -172,7 +172,7 @@ _ambient_plan: ContextVar[Optional[ShardPlan]] = ContextVar(
 
 
 @contextmanager
-def use_shard_plan(plan: Optional[Any]):
+def use_shard_plan(plan: Optional[Any]) -> Iterator[None]:
     """Scope a :class:`ShardPlan` for every sharded product inside.
 
     Accepts a plan, a mapping (``ShardPlan.from_dict``), or ``None``
@@ -224,23 +224,31 @@ _pool_lock = threading.Lock()
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
     global _pool, _pool_workers
+    # Swap under the lock, drain outside it: shutdown(wait=True) blocks
+    # until in-flight tiles finish, and holding ``_pool_lock`` through
+    # that drain would stall every concurrent ``_get_pool`` caller (and
+    # deadlock if a drain ever depended on another pool acquisition).
+    stale: Optional[ProcessPoolExecutor] = None
     with _pool_lock:
         if _pool is None or _pool_workers != workers:
-            if _pool is not None:
-                _pool.shutdown(wait=True, cancel_futures=True)
+            stale = _pool
             _pool = ProcessPoolExecutor(max_workers=workers)
             _pool_workers = workers
-        return _pool
+        pool = _pool
+    if stale is not None:
+        stale.shutdown(wait=True, cancel_futures=True)
+    return pool
 
 
 def shutdown_shard_pool() -> None:
     """Tear down the persistent tile pool (idempotent; re-created lazily)."""
     global _pool, _pool_workers
     with _pool_lock:
-        if _pool is not None:
-            _pool.shutdown(wait=True, cancel_futures=True)
-            _pool = None
-            _pool_workers = 0
+        stale = _pool
+        _pool = None
+        _pool_workers = 0
+    if stale is not None:
+        stale.shutdown(wait=True, cancel_futures=True)
 
 
 atexit.register(shutdown_shard_pool)

@@ -11,7 +11,7 @@ construction (Lemma 6.2) is priced exactly as the paper prices it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -23,12 +23,23 @@ exactly that round-trip.
 
 from __future__ import annotations
 
+import math
 import random
 import threading
 from typing import Any, Dict, List, Optional
 
 #: Quantiles every latency snapshot reports, as (label, q) pairs.
 SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def finite_or_none(value: Optional[float]) -> Optional[float]:
+    """``float(value)`` when finite, else ``None`` — the strict-JSON
+    stand-in for "no data" (``NaN``/``inf`` would not survive a strict
+    round-trip, and numpy scalars would not round-trip their type)."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
 
 
 def quantile(ordered: List[float], q: float) -> Optional[float]:
@@ -71,6 +82,11 @@ class LatencyReservoir:
 
     def record(self, seconds: float) -> None:
         seconds = float(seconds)
+        if not math.isfinite(seconds):
+            # A NaN/inf sample would poison every downstream quantile and
+            # leak into the (strictly JSON-safe) snapshot; reject at the
+            # door so the reservoir stays finite by construction.
+            raise ValueError(f"latency samples must be finite, got {seconds!r}")
         self.count += 1
         self.total += seconds
         if seconds > self.max_value:
@@ -87,14 +103,21 @@ class LatencyReservoir:
         return quantile(sorted(self._samples), q)
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe summary: count/mean/max plus the standard quantiles."""
+        """JSON-safe summary: count/mean/max plus the standard quantiles.
+
+        Every float is routed through :func:`finite_or_none` — defense in
+        depth behind :meth:`record`'s finite-sample gate, and the shape
+        the ``json-nan-leak`` lint rule checks for.
+        """
         out: Dict[str, Any] = {
             "count": self.count,
-            "mean": self.total / self.count if self.count else None,
-            "max": self.max_value if self.count else None,
+            "mean": finite_or_none(
+                self.total / self.count if self.count else None
+            ),
+            "max": finite_or_none(self.max_value if self.count else None),
         }
         for label, q in SNAPSHOT_QUANTILES:
-            out[label] = self.quantile(q)
+            out[label] = finite_or_none(self.quantile(q))
         return out
 
 
@@ -199,5 +222,6 @@ __all__ = [
     "LatencyReservoir",
     "ServiceMetrics",
     "SNAPSHOT_QUANTILES",
+    "finite_or_none",
     "quantile",
 ]

@@ -97,6 +97,10 @@ def baswana_sengupta_spanner(
 
     cluster_of = np.arange(n, dtype=np.int64)  # every vertex its own center
 
+    # (vertex, dropped-cluster) removal mask, reused across iterations —
+    # refilling in place keeps the peak allocation at one (n, n) board.
+    drop_pair = np.zeros((n, n), dtype=bool)
+
     for _ in range(k - 1):
         # --- sample centers: one pre-drawn uniform per vertex ID. ------ #
         draws = rng.random(n)
@@ -162,7 +166,7 @@ def baswana_sengupta_spanner(
         add_edges(join_ids, target_nbr[joins], target_w[joins])
 
         # --- apply removals: E(v, dropped cluster) for both endpoints. - #
-        drop_pair = np.zeros((n, n), dtype=bool)
+        drop_pair[:] = False
         drop_pair[g_vertex[drop_row], g_cluster[drop_row]] = True
         dead_rows = np.flatnonzero(valid & drop_pair[du, np.maximum(nbr_cluster, 0)])
         alive[eid[dead_rows]] = False

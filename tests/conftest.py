@@ -8,7 +8,6 @@ import pytest
 from repro.graphs import (
     WeightedGraph,
     erdos_renyi,
-    exact_apsp,
     grid_graph,
     heavy_tail_weights,
     path_with_shortcuts,

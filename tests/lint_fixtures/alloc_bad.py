@@ -1,0 +1,27 @@
+"""Known-bad allocation corpus: every block here must be flagged."""
+
+import numpy as np
+
+from repro.semiring import minplus, minplus_square
+
+
+def repeated_squaring(matrix, rounds):
+    for _ in range(rounds):
+        matrix = minplus_square(matrix)  # alloc-no-out-in-loop
+    return matrix
+
+
+def repeated_product(a, b, rounds):
+    result = a
+    while rounds > 0:
+        result = minplus(result, b)  # alloc-no-out-in-loop
+        rounds -= 1
+    return result
+
+
+def dense_temporaries(n, rounds):
+    total = 0.0
+    for _ in range(rounds):
+        board = np.zeros((n, n))  # alloc-dense-temp-in-loop
+        total += board.sum()
+    return total

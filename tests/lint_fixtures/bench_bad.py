@@ -1,0 +1,15 @@
+"""Known-bad benchmark corpus (linted under a virtual benchmarks/ path).
+
+Writes an artifact run_smoke.py's SUITES table does not validate — CI
+would silently stop checking this plane.
+"""
+
+import json
+
+ARTIFACT = "BENCH_unregistered.json"  # reg-bench-tag
+PAYLOAD = {"experiment": "E99-unregistered", "records": []}
+
+
+def emit():
+    with open(ARTIFACT, "w", encoding="utf-8") as sink:
+        json.dump(PAYLOAD, sink)

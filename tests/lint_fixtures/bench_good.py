@@ -1,0 +1,15 @@
+"""Known-good benchmark corpus (linted under a virtual benchmarks/ path).
+
+Mirrors the shipped benchmark shape: artifact + tag registered in
+run_smoke.py's SUITES table.
+"""
+
+import json
+
+ARTIFACT = "BENCH_kernels.json"
+PAYLOAD = {"experiment": "E17-kernels", "records": [{"kernel": "broadcast"}]}
+
+
+def emit():
+    with open(ARTIFACT, "w", encoding="utf-8") as sink:
+        json.dump(PAYLOAD, sink)

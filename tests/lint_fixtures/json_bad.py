@@ -1,0 +1,28 @@
+"""Known-bad JSON-safety corpus: every block here must be flagged."""
+
+import numpy as np
+
+
+class UnguardedStats:
+    def __init__(self, samples):
+        self.samples = samples
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot(self):
+        return {
+            "mean": np.mean(self.samples),  # json-nan-leak (numpy reducer)
+            "ratio": self.total / self.count,  # json-nan-leak (bare division)
+        }
+
+    def to_dict(self):
+        return {
+            "max": self.samples.max(),  # json-nan-leak (method reducer)
+        }
+
+
+class SentinelLeak:
+    def snapshot(self):
+        return {
+            "missing": float("nan"),  # json-nan-leak (non-finite literal)
+        }

@@ -1,0 +1,37 @@
+"""Known-good JSON-safety corpus: nothing here may be flagged."""
+
+import math
+
+import numpy as np
+
+
+def finite_or_none(value):
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+class GuardedStats:
+    def __init__(self, samples):
+        self.samples = samples
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot(self):
+        return {
+            # Routed through the sanitizer: NaN/inf become None, numpy
+            # scalars become floats.
+            "mean": finite_or_none(np.mean(self.samples)),
+            # The sanctioned division shape: guarded by the conditional.
+            "ratio": self.total / self.count if self.count else None,
+        }
+
+    def to_dict(self):
+        value = self.samples.max()
+        return {"max": float(value) if np.isfinite(value) else None}
+
+    def helper_mean(self):
+        # Reducers outside snapshot/to_dict/to_json naming are not the
+        # payload boundary and are not this rule's business.
+        return np.mean(self.samples)

@@ -1,0 +1,32 @@
+"""Known-bad registry corpus: every block here must be flagged."""
+
+from repro.chaos import register_scenario
+from repro.core.registry import register_variant
+
+
+@register_variant(
+    "fixture-missing-metadata",  # reg-variant-metadata (no display_name ...)
+    summary="has a summary but nothing else",
+)
+def _solve_incomplete(graph, rng, ledger, **params):
+    raise NotImplementedError
+
+
+@register_variant(
+    "fixture-empty-metadata",
+    display_name="",  # reg-variant-metadata (empty literal)
+    summary="x",
+    factor_formula="1",
+    rounds_note="O(1)",
+)
+def _solve_empty(graph, rng, ledger, **params):
+    raise NotImplementedError
+
+
+@register_scenario(
+    "fixture-scenario",
+    summary="drops links",
+    # reg-variant-metadata: faults/recovery missing
+)
+def _run_incomplete(n, seed, **params):
+    raise NotImplementedError

@@ -1,0 +1,26 @@
+"""Known-good registry corpus: nothing here may be flagged."""
+
+from repro.chaos import register_scenario
+from repro.core.registry import register_variant
+
+
+@register_variant(
+    "fixture-complete",
+    display_name="fixture",
+    summary="a fully-described fixture variant",
+    factor_formula="O(1)",
+    rounds_note="O(1) rounds",
+)
+def _solve_complete(graph, rng, ledger, **params):
+    raise NotImplementedError
+
+
+@register_scenario(
+    "fixture-scenario-complete",
+    summary="drops links on a schedule",
+    faults="LinkDrop over the full window",
+    recovery="bounded retry",
+    default_params={"drop": 0.1},
+)
+def _run_complete(n, seed, **params):
+    raise NotImplementedError

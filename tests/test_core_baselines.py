@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.cclique import RoundLedger
 from repro.core import exact_apsp_baseline, spanner_only_baseline, uy90_baseline
 from repro.graphs import check_estimate, erdos_renyi, exact_apsp
+from repro.semiring.kernels import minplus_square
 
 from tests.helpers import make_rng
 
@@ -86,3 +89,27 @@ class TestSpannerOnlyBaseline:
         exact_apsp_baseline(graph, ledger=exact_ledger)
         # the frontier: spanner-only must be cheaper than exact matmul
         assert ledger.total_rounds < exact_ledger.total_rounds + 50
+
+
+class TestPingPongBufferReuse:
+    """Regression: the squaring loops write into a reused spare buffer
+    (``out=`` ping-pong) instead of allocating ``(n, n)`` per iteration.
+    ``out=`` computes the same float64 values, so the results must stay
+    bit-identical to the fresh-allocation formulation."""
+
+    def test_exact_baseline_bit_identical_to_fresh_allocations(self):
+        rng = make_rng(7)
+        graph = erdos_renyi(48, 0.12, rng)
+        reference = np.array(graph.matrix())
+        squarings = max(1, math.ceil(math.log2(max(2, graph.n))))
+        for _ in range(squarings):
+            reference = minplus_square(reference)
+        result = exact_apsp_baseline(graph)
+        assert np.array_equal(result.estimate, reference)
+
+    def test_uy90_bit_identical_across_runs(self):
+        graph = erdos_renyi(40, 0.2, make_rng(11))
+        first = uy90_baseline(graph, make_rng(5))
+        second = uy90_baseline(graph, make_rng(5))
+        assert np.array_equal(first.estimate, second.estimate)
+        assert first.meta == second.meta

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.routing_tables import (
-    Route,
     greedy_route,
     next_hop_table,
     next_hop_table_reference,

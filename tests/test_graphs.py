@@ -230,3 +230,38 @@ class TestDistances:
         assert hops[0, 1] == 1
         # 0 -> 3 shortest path has 3 hops; the doubling bound may report 4.
         assert 3 <= hops[0, 3] <= 4
+
+
+class TestHopBoundBufferReuse:
+    """Regression: ``shortest_path_hop_bound`` doubles the current power
+    into a reused spare buffer; hop bounds must match the formulation
+    that allocates a fresh product every iteration."""
+
+    def test_bit_identical_to_fresh_allocation_doubling(self):
+        from repro.semiring.kernels import minplus_square
+
+        rng = np.random.default_rng(13)
+        graph = erdos_renyi(36, 0.12, rng)
+        dist = exact_apsp(graph)
+        matrix = graph.matrix()
+        n = graph.n
+
+        reference = np.full((n, n), INF)
+        reference[np.isclose(matrix, dist) & np.isfinite(dist)] = 1.0
+        np.fill_diagonal(reference, 0.0)
+        current = np.array(matrix)
+        h = 1
+        while h < n:
+            current = minplus_square(current)
+            h *= 2
+            newly = (
+                np.isclose(current, dist)
+                & np.isfinite(dist)
+                & ~np.isfinite(reference)
+            )
+            reference[newly] = float(h)
+            if np.all(np.isfinite(reference[np.isfinite(dist)])):
+                break
+
+        hops = shortest_path_hop_bound(graph, dist=dist)
+        assert np.array_equal(hops, reference)

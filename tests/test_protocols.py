@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.cclique import SimulatedClique
-from repro.core import build_knearest_hopset, knearest_one_round, make_bin_plan
+from repro.core import build_knearest_hopset, knearest_one_round
 from repro.graphs import erdos_renyi, exact_apsp, grid_graph
 from repro.protocols import (
     elect_leader,

@@ -769,3 +769,36 @@ class TestShutdownFanout:
         asyncio.run(asyncio.wait_for(main(), timeout=5))
         assert batcher.stats.completed == 2
         assert batcher.pending == 0
+
+
+class TestMetricsFiniteGuard:
+    """Regression for the json-nan-leak fix: the reservoir rejects
+    non-finite samples at the door and sanitizes its snapshot."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_record_rejects_non_finite(self, bad):
+        reservoir = LatencyReservoir()
+        with pytest.raises(ValueError, match="finite"):
+            reservoir.record(bad)
+        assert reservoir.count == 0
+
+    def test_snapshot_sanitizes_poisoned_samples(self):
+        # Defense in depth: even if a non-finite value bypassed record()
+        # (e.g. legacy pickled state), the snapshot must stay strict-JSON.
+        reservoir = LatencyReservoir()
+        reservoir.record(0.5)
+        reservoir._samples.append(float("inf"))
+        snap = reservoir.snapshot()
+        assert snap == json.loads(json.dumps(snap, allow_nan=False))
+        assert snap["p99"] is None  # inf quantile sanitized, not leaked
+        assert snap["mean"] == pytest.approx(0.5)
+
+    def test_finite_or_none(self):
+        from repro.serve.metrics import finite_or_none
+
+        assert finite_or_none(None) is None
+        assert finite_or_none(float("nan")) is None
+        assert finite_or_none(float("inf")) is None
+        assert finite_or_none(1.5) == 1.5
+        assert finite_or_none(np.float64(2.5)) == 2.5
+        assert type(finite_or_none(np.float64(2.5))) is float

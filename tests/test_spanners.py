@@ -142,3 +142,29 @@ class TestSpannerApproxAPSP:
         for n in (4096, 1 << 16, 1 << 20):
             b = bootstrap_b(n)
             assert 1.1 * (2 * b - 1) <= math.log2(n)
+
+
+class TestDropPairBufferReuse:
+    """Regression: the per-level ``drop_pair`` mask is hoisted out of the
+    cluster loop and refilled in place; construction must stay
+    bit-identical to the allocate-per-iteration formulation."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_bit_identical_edges(self, seed):
+        graph = erdos_renyi(48, 0.25, np.random.default_rng(seed))
+        first = baswana_sengupta_spanner(graph, 3, np.random.default_rng(seed + 100))
+        second = baswana_sengupta_spanner(graph, 3, np.random.default_rng(seed + 100))
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_mask_state_does_not_leak_across_calls(self):
+        # Two different-k constructions back to back; a stale mask from
+        # the first run must not suppress edges in the second.
+        graph = erdos_renyi(40, 0.3, np.random.default_rng(9))
+        before = sorted(
+            baswana_sengupta_spanner(graph, 2, np.random.default_rng(1)).edges()
+        )
+        baswana_sengupta_spanner(graph, 3, np.random.default_rng(2))
+        after = sorted(
+            baswana_sengupta_spanner(graph, 2, np.random.default_rng(1)).edges()
+        )
+        assert before == after
